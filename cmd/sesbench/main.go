@@ -1,0 +1,26 @@
+// Command sesbench regenerates the paper's evaluation figures.
+//
+// Examples:
+//
+//	sesbench -fig 5                         # Figure 5 at the default small scale
+//	sesbench -fig 6 -datasets Unf,Zip       # only the synthetic panels
+//	sesbench -fig 10b -scale medium         # search-space study, bigger scale
+//	sesbench -fig summary                   # HOR vs ALG utility match rate
+//	sesbench -fig stacking                  # the HOR-ALG gap vs competing interest
+//	sesbench -fig all -csv results.csv      # everything, raw rows to CSV
+//
+// Scales: tiny | small | medium | paper. "paper" uses the published
+// parameter values (k = 100, |U| up to 1M) and can take hours, exactly like
+// the original experiments; "small" preserves all parameter ratios at 1/5
+// k-scale and 1% of the users, so every curve keeps its shape.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sesbench(os.Args[1:], os.Stdout, os.Stderr))
+}

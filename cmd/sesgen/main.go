@@ -1,0 +1,21 @@
+// Command sesgen generates an SES problem instance and writes it as JSON.
+//
+// Examples:
+//
+//	sesgen -dataset Unf -k 20 -users 500 > unf.json
+//	sesgen -dataset Meetup -k 50 -users 2000 -o meetup.json
+//	sesgen -dataset Concerts -k 20 -users 1000 -intervals 13 -o fest.json
+//
+// The output feeds sesrun or any external tool consuming the documented
+// JSON format (see internal/seio).
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sesgen(os.Args[1:], os.Stdout, os.Stderr))
+}

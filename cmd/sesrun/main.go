@@ -1,0 +1,22 @@
+// Command sesrun schedules an SES instance read from JSON and reports the
+// resulting schedule, its expected attendance and the work performed.
+//
+// Examples:
+//
+//	sesgen -dataset Zip -k 20 -users 500 | sesrun -k 20 -algo HOR-I
+//	sesrun -in fest.json -k 20 -algo INC -o schedule.json
+//	sesrun -in fest.json -k 20 -algo ALG -simulate 5000
+//
+// With -simulate N, the analytic utility Ω is cross-checked against N
+// Monte-Carlo trials of the Luce-choice attendance process.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sesrun(os.Stdin, os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,61 @@
+// Meetup: an event-based-social-network scenario — a platform operator
+// (the paper's Meetup dataset) picks time slots for community events whose
+// audiences are clustered by topic category.
+//
+// The example contrasts all four scheduling algorithms on the same
+// simulated-Meetup workload and reports the solution quality and work
+// trade-off, plus where each algorithm placed the five most popular events.
+//
+// Run with: go run ./examples/meetup
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ses "repro"
+)
+
+func main() {
+	const (
+		k     = 30
+		users = 4000 // scaled-down from the dataset's 42,444
+	)
+	cfg := ses.DefaultMeetupConfig(k, users, 7)
+	inst, err := ses.GenerateMeetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meetup workload: %d candidate events over %d slots, %d competing events, %d users\n\n",
+		inst.NumEvents(), inst.NumIntervals(), inst.NumCompeting(), inst.NumUsers())
+
+	fmt.Printf("%-6s %12s %14s %12s %10s\n", "algo", "Ω", "computations", "examined", "time")
+	var schedules = map[ses.Algorithm]*ses.Result{}
+	for _, a := range []ses.Algorithm{ses.ALG, ses.INC, ses.HOR, ses.HORI, ses.TOP, ses.RAND} {
+		res, err := ses.Solve(inst, k, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedules[a] = res
+		fmt.Printf("%-6s %12.1f %14d %12d %10v\n",
+			a, res.Utility, res.Computations(inst.NumUsers()), res.Examined, res.Elapsed)
+	}
+
+	// The five best-attended events of the HOR-I schedule.
+	rep := ses.Summarize(inst, schedules[ses.HORI].Schedule)
+	sort.Slice(rep.Events, func(i, j int) bool { return rep.Events[i].Expected > rep.Events[j].Expected })
+	fmt.Println("\ntop five events by expected attendance (HOR-I):")
+	for _, e := range rep.Events[:5] {
+		fmt.Printf("  %-12s @ %-8s expected %6.1f\n", e.Name, e.At, e.Expected)
+	}
+
+	// Greedy equivalences from the paper, observable live:
+	fmt.Println()
+	if schedules[ses.INC].Utility == schedules[ses.ALG].Utility {
+		fmt.Println("INC returned exactly ALG's solution (Proposition 3)")
+	}
+	if schedules[ses.HORI].Utility == schedules[ses.HOR].Utility {
+		fmt.Println("HOR-I returned exactly HOR's solution (Proposition 6)")
+	}
+}

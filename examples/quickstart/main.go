@@ -1,0 +1,70 @@
+// Quickstart: build a small SES instance by hand — the paper's running
+// example (Figure 1) extended with explicit values — and schedule it with
+// every algorithm.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A weekend program: four candidate events over two venues and a
+	// room, two candidate time slots, one competing event per slot.
+	events := []ses.Event{
+		{Name: "rock-concert", Location: 1, Resources: 1}, // Stage 1
+		{Name: "fashion-show", Location: 1, Resources: 1}, // Stage 1 too: can't share a slot
+		{Name: "poetry-night", Location: 2, Resources: 1}, // Room A
+		{Name: "indie-gig", Location: 3, Resources: 1},    // Stage 2
+	}
+	intervals := []ses.Interval{
+		{Name: "fri-evening"},
+		{Name: "sat-evening"},
+	}
+	competing := []ses.Competing{
+		{Name: "city-festival", Interval: 0},
+		{Name: "arena-show", Interval: 1},
+	}
+	inst, err := ses.NewInstance(events, intervals, competing, 2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two users with the interest/activity profile of the paper's Figure 1d.
+	type user struct {
+		interests [4]float64
+		competing [2]float64
+		activity  [2]float64
+	}
+	users := []user{
+		{[4]float64{0.9, 0.3, 0, 0.6}, [2]float64{0.8, 0.3}, [2]float64{0.8, 0.5}},
+		{[4]float64{0.2, 0.6, 0.1, 0.6}, [2]float64{0.4, 0.7}, [2]float64{0.5, 0.7}},
+	}
+	for u, p := range users {
+		for e, v := range p.interests {
+			inst.SetInterest(u, e, v)
+		}
+		for c, v := range p.competing {
+			inst.SetCompetingInterest(u, c, v)
+		}
+		for t, v := range p.activity {
+			inst.SetActivity(u, t, v)
+		}
+	}
+
+	// Schedule k = 3 of the 4 events with each algorithm.
+	fmt.Println("scheduling 3 of 4 events:")
+	for _, a := range ses.Algorithms() {
+		res, err := ses.Solve(inst, 3, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: Ω = %.4f, %d score computations, %v\n",
+			a, res.Utility, res.ScoreEvals, res.Elapsed)
+		fmt.Print(ses.Summarize(inst, res.Schedule))
+	}
+}

@@ -1,0 +1,52 @@
+// Worstcase: explores the HOR/HOR-I worst case w.r.t. k and |T|
+// (Propositions 5 and 7): when k mod |T| = 1, the final horizontal layer
+// computes scores for a full layer of assignments only to select a single
+// one, maximizing wasted work.
+//
+// The example sweeps |T| around k and prints the score computations each
+// horizontal method performs, making the k mod |T| = 1 spike visible, and
+// contrasts it with INC, whose work does not depend on the k/|T| remainder.
+//
+// Run with: go run ./examples/worstcase
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ses "repro"
+)
+
+func main() {
+	const (
+		k     = 24
+		users = 1500
+	)
+	fmt.Printf("k = %d scheduled events; sweeping |T| and watching the final-layer waste\n\n", k)
+	fmt.Printf("%4s %10s %12s %12s %12s %14s\n", "|T|", "k mod |T|", "HOR evals", "HOR-I evals", "INC evals", "HOR-I Ω")
+	for _, intervals := range []int{k/2 - 1, k / 2, k/2 + 1, k - 1, k} {
+		cfg := ses.DefaultSyntheticConfig(k, users, ses.Zipf2, 99)
+		cfg.NumIntervals = intervals
+		inst, err := ses.GenerateSynthetic(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hor, err := ses.Solve(inst, k, ses.HOR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hori, err := ses.Solve(inst, k, ses.HORI)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inc, err := ses.Solve(inst, k, ses.INC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %10d %12d %12d %12d %14.1f\n",
+			intervals, k%intervals, hor.ScoreEvals, hori.ScoreEvals, inc.ScoreEvals, hori.Utility)
+	}
+	fmt.Println("\n|T| = k−1 (k mod |T| = 1) is the worst case: the last layer scores ~|T|·|E'|")
+	fmt.Println("assignments to make one selection. Even there, HOR-I's per-interval bound")
+	fmt.Println("skips most of the recomputation (Figure 10a of the paper).")
+}

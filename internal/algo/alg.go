@@ -1,0 +1,90 @@
+package algo
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// ALG is the greedy algorithm of Bikakis et al. (ICDE 2018), outlined in
+// Section 3.1 of the paper, and the comparison baseline for INC/HOR/HOR-I.
+//
+// ALG first scores every (event, interval) pair, then repeats k times:
+// scan all available assignments for the top valid one, select it, and
+// recompute from scratch the scores of every assignment bound to the
+// selected assignment's interval. Complexity (paper):
+// O(|U||C| + |E||T||U| + k|E||T| + k|E||U| − k²|T| − k²|U|).
+type ALG struct {
+	// Opts enables the Section 2.1 problem extensions.
+	Opts core.ScorerOptions
+}
+
+// Name implements Scheduler.
+func (ALG) Name() string { return "ALG" }
+
+// Schedule implements Scheduler.
+func (a ALG) Schedule(inst *core.Instance, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	start := time.Now()
+	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewSchedule(inst)
+	var c Counters
+
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	scores := make([]float64, nE*nT)
+	for e := 0; e < nE; e++ {
+		for t := 0; t < nT; t++ {
+			scores[e*nT+t] = sc.Score(s, e, t)
+			c.ScoreEvals++
+		}
+	}
+
+	for s.Len() < k {
+		// Select: scan every available assignment for the top valid one.
+		bestE, bestT := int32(-1), -1
+		bestScore := 0.0
+		for e := 0; e < nE; e++ {
+			if _, assigned := s.AssignedInterval(e); assigned {
+				continue
+			}
+			for t := 0; t < nT; t++ {
+				c.Examined++
+				if !s.Feasible(e, t) {
+					continue
+				}
+				sv := scores[e*nT+t]
+				if bestE < 0 || betterFull(sv, int32(e), t, bestScore, bestE, bestT) {
+					bestE, bestT, bestScore = int32(e), t, sv
+				}
+			}
+		}
+		if bestE < 0 {
+			break // no valid assignment remains
+		}
+		if err := s.Assign(int(bestE), bestT); err != nil {
+			return nil, err
+		}
+		if s.Len() >= k {
+			break // no selection follows, so no update is needed
+		}
+		// Update: recompute every available assignment of the selected
+		// interval against the new schedule state.
+		for e := 0; e < nE; e++ {
+			if _, assigned := s.AssignedInterval(e); assigned {
+				continue
+			}
+			c.Examined++
+			if !s.Feasible(e, bestT) {
+				continue
+			}
+			scores[e*nT+bestT] = sc.Score(s, e, bestT)
+			c.ScoreEvals++
+		}
+	}
+	return finish(sc, s, c, start), nil
+}

@@ -1,0 +1,144 @@
+// Package algo implements the scheduling algorithms of the paper: the prior
+// greedy ALG (Section 3.1, from Bikakis et al. ICDE 2018), the three
+// contributions INC (Section 3.2), HOR (Section 3.3) and HOR-I (Section 3.4),
+// and the TOP and RAND baselines of the evaluation (Section 4.1).
+//
+// Every scheduler is instrumented with the two counters the paper's
+// evaluation reports besides wall time: the number of assignment-score
+// computations (each costing one pass over the |U| users — Figures 5e–5h)
+// and the number of assignments examined (Figure 10b).
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Counters collects the work metrics of a scheduler run.
+type Counters struct {
+	// ScoreEvals counts Eq. 4 evaluations. The paper's "number of
+	// computations" metric is ScoreEvals × |U| (each evaluation touches
+	// every user once); use Computations for that figure-ready value.
+	ScoreEvals int64
+	// Examined counts assignment accesses: list entries traversed,
+	// score-matrix cells scanned for selection, and candidates checked
+	// for validity. This is the Figure 10b "search space" metric.
+	Examined int64
+}
+
+// Computations returns the paper's computation count: ScoreEvals × |U|.
+func (c Counters) Computations(numUsers int) int64 {
+	return c.ScoreEvals * int64(numUsers)
+}
+
+// Result is the outcome of a scheduler run.
+type Result struct {
+	Schedule *core.Schedule
+	// Utility is Ω(Schedule), recomputed from scratch by the scorer so
+	// the reported value never depends on an algorithm's bookkeeping.
+	Utility float64
+	Counters
+	Elapsed time.Duration
+}
+
+// Scheduler solves an SES instance: it selects up to k valid assignments
+// maximizing (approximately) the total utility Ω.
+type Scheduler interface {
+	// Name returns the paper's name for the algorithm (ALG, INC, ...).
+	Name() string
+	// Schedule builds a feasible schedule with at most k assignments.
+	// Fewer than k assignments are returned only when no further valid
+	// assignment exists.
+	Schedule(inst *core.Instance, k int) (*Result, error)
+}
+
+// ErrBadK is returned when k is not positive.
+var ErrBadK = errors.New("algo: k must be positive")
+
+// New returns the scheduler with the given paper name (case-sensitive:
+// "ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"). RAND is seeded with seed;
+// the deterministic algorithms ignore it.
+func New(name string, seed uint64) (Scheduler, error) {
+	return NewWithOptions(name, seed, core.ScorerOptions{})
+}
+
+// NewWithOptions returns the named scheduler with the Section 2.1 problem
+// extensions enabled (user weights, profit-oriented event costs).
+func NewWithOptions(name string, seed uint64, opts core.ScorerOptions) (Scheduler, error) {
+	switch name {
+	case "ALG":
+		return ALG{Opts: opts}, nil
+	case "INC":
+		return INC{Opts: opts}, nil
+	case "HOR":
+		return HOR{Opts: opts}, nil
+	case "HOR-I":
+		return HORI{Opts: opts}, nil
+	case "TOP":
+		return TOP{Opts: opts}, nil
+	case "RAND":
+		return RAND{Seed: seed, Opts: opts}, nil
+	}
+	return nil, fmt.Errorf("algo: unknown scheduler %q", name)
+}
+
+// Names lists the available scheduler names in the order the paper's plots
+// use.
+func Names() []string { return []string{"ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"} }
+
+// betterScoreEvent reports whether (s1, e1) beats (s2, e2) under the shared
+// deterministic tie-break: higher score first, then smaller event index.
+// Every algorithm uses this ordering so the INC ≡ ALG and HOR-I ≡ HOR
+// equivalences (Propositions 3 and 6) hold exactly, not just in utility.
+func betterScoreEvent(s1 float64, e1 int32, s2 float64, e2 int32) bool {
+	if s1 != s2 {
+		return s1 > s2
+	}
+	return e1 < e2
+}
+
+// betterFull extends betterScoreEvent with the interval index as the final
+// tie-break for cross-interval comparisons.
+func betterFull(s1 float64, e1 int32, t1 int, s2 float64, e2 int32, t2 int) bool {
+	if s1 != s2 {
+		return s1 > s2
+	}
+	if e1 != e2 {
+		return e1 < e2
+	}
+	return t1 < t2
+}
+
+// item is one assignment α_e^t inside an interval's assignment list L_t.
+// The interval is implied by the list holding the item.
+type item struct {
+	e int32
+	// score is the exact Eq. 4 score if updated, otherwise a stale value
+	// from an earlier schedule state. Stale scores are upper bounds on
+	// the exact score (the monotonicity behind Proposition 1).
+	score   float64
+	updated bool
+}
+
+// sortItems orders a list descending by score with the event index as the
+// tie-break, the canonical order of the interval-based assignment
+// organization (Section 3.2.2).
+func sortItems(items []item) {
+	sort.Slice(items, func(i, j int) bool {
+		return betterScoreEvent(items[i].score, items[i].e, items[j].score, items[j].e)
+	})
+}
+
+// finish assembles the Result shared by all schedulers.
+func finish(sc *core.Scorer, s *core.Schedule, c Counters, start time.Time) *Result {
+	return &Result{
+		Schedule: s,
+		Utility:  sc.Utility(s),
+		Counters: c,
+		Elapsed:  time.Since(start),
+	}
+}

@@ -1,0 +1,114 @@
+package algo
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// TOP is the first baseline of the evaluation (Section 4.1): it scores every
+// assignment once against the empty schedule and greedily consumes the
+// global top-k valid assignments without ever recomputing a score. TOP
+// therefore performs the minimum possible number of score computations
+// (|E|·|T|) — it is the lower envelope of the computation plots — but its
+// utility suffers because it happily piles events into the few
+// highest-yield intervals, which then cannibalize each other's attendance.
+type TOP struct {
+	// Opts enables the Section 2.1 problem extensions.
+	Opts core.ScorerOptions
+}
+
+// Name implements Scheduler.
+func (TOP) Name() string { return "TOP" }
+
+// Schedule implements Scheduler.
+func (a TOP) Schedule(inst *core.Instance, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	start := time.Now()
+	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewSchedule(inst)
+	var c Counters
+
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	type pair struct {
+		item
+		t int
+	}
+	all := make([]pair, 0, nE*nT)
+	for e := 0; e < nE; e++ {
+		for t := 0; t < nT; t++ {
+			all = append(all, pair{item{e: int32(e), score: sc.Score(s, e, t)}, t})
+			c.ScoreEvals++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return betterFull(all[i].score, all[i].e, all[i].t, all[j].score, all[j].e, all[j].t)
+	})
+	for _, p := range all {
+		if s.Len() >= k {
+			break
+		}
+		c.Examined++
+		if s.Valid(int(p.e), p.t) {
+			if err := s.Assign(int(p.e), p.t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return finish(sc, s, c, start), nil
+}
+
+// RAND is the second baseline (Section 4.1): it assigns events to intervals
+// uniformly at random, subject only to validity. It performs no score
+// computations at all and anchors the bottom of the utility plots.
+type RAND struct {
+	// Seed drives the deterministic random stream; two RAND runs with the
+	// same seed and instance produce the same schedule.
+	Seed uint64
+	// Opts enables the Section 2.1 problem extensions (they only affect
+	// the reported utility: RAND never scores assignments).
+	Opts core.ScorerOptions
+}
+
+// Name implements Scheduler.
+func (RAND) Name() string { return "RAND" }
+
+// Schedule implements Scheduler.
+func (r RAND) Schedule(inst *core.Instance, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	start := time.Now()
+	sc, err := core.NewScorerWithOptions(inst, r.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewSchedule(inst)
+	var c Counters
+
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	// Walk a random permutation of all pairs so the schedule is uniform
+	// over valid possibilities yet termination is certain even when k
+	// exceeds the number of feasible assignments.
+	perm := randx.New(r.Seed).Perm(nE * nT)
+	for _, idx := range perm {
+		if s.Len() >= k {
+			break
+		}
+		e, t := idx/nT, idx%nT
+		c.Examined++
+		if s.Valid(e, t) {
+			if err := s.Assign(e, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return finish(sc, s, c, start), nil
+}

@@ -1,0 +1,89 @@
+package algo
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Extend grows an existing feasible schedule by up to extra greedy
+// selections, without disturbing the assignments already made. It is the
+// re-planning workflow of a real organizer — "we found budget for three more
+// events" — and the building block the incremental event-planning variants
+// cited by the paper ([6] Cheng et al., ICDE 2017) study.
+//
+// Extend uses ALG's greedy rule against the current schedule state, so
+// Extend(inst, empty, k) selects exactly ALG's schedule, which the tests
+// assert. The base schedule is not modified; the returned Result holds an
+// extended copy.
+func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.ScorerOptions) (*Result, error) {
+	if extra <= 0 {
+		return nil, ErrBadK
+	}
+	if base == nil {
+		return nil, errors.New("algo: Extend needs a base schedule (use NewSchedule for an empty one)")
+	}
+	if base.Instance() != inst {
+		return nil, errors.New("algo: base schedule belongs to a different instance")
+	}
+	start := time.Now()
+	sc, err := core.NewScorerWithOptions(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := base.Clone()
+	var c Counters
+
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	scores := make([]float64, nE*nT)
+	for e := 0; e < nE; e++ {
+		if _, taken := s.AssignedInterval(e); taken {
+			continue
+		}
+		for t := 0; t < nT; t++ {
+			scores[e*nT+t] = sc.Score(s, e, t)
+			c.ScoreEvals++
+		}
+	}
+	target := s.Len() + extra
+	for s.Len() < target {
+		bestE, bestT := -1, -1
+		bestScore := 0.0
+		for e := 0; e < nE; e++ {
+			if _, taken := s.AssignedInterval(e); taken {
+				continue
+			}
+			for t := 0; t < nT; t++ {
+				c.Examined++
+				if !s.Feasible(e, t) {
+					continue
+				}
+				sv := scores[e*nT+t]
+				if bestE < 0 || betterFull(sv, int32(e), t, bestScore, int32(bestE), bestT) {
+					bestE, bestT, bestScore = e, t, sv
+				}
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		if err := s.Assign(bestE, bestT); err != nil {
+			return nil, err
+		}
+		if s.Len() >= target {
+			break
+		}
+		for e := 0; e < nE; e++ {
+			if _, taken := s.AssignedInterval(e); taken {
+				continue
+			}
+			if !s.Feasible(e, bestT) {
+				continue
+			}
+			scores[e*nT+bestT] = sc.Score(s, e, bestT)
+			c.ScoreEvals++
+		}
+	}
+	return finish(sc, s, c, start), nil
+}

@@ -1,0 +1,123 @@
+package algo
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// HOR is the Horizontal Assignment algorithm (Section 3.3, Algorithm 2).
+//
+// HOR selects assignments in layers: in each iteration it recomputes the
+// scores of all valid assignments once, then selects (up to) one assignment
+// per interval — the interval's top — without any mid-layer recomputation.
+// Because at most one event joins each interval per layer, skipping the
+// updates inside a layer costs little solution quality (the paper reports
+// identical utility to ALG in >70% of runs, ≤1.3% difference otherwise)
+// while eliminating ALG's per-selection update sweep entirely when k ≤ |T|.
+type HOR struct {
+	// Opts enables the Section 2.1 problem extensions.
+	Opts core.ScorerOptions
+}
+
+// Name implements Scheduler.
+func (HOR) Name() string { return "HOR" }
+
+// Schedule implements Scheduler.
+func (a HOR) Schedule(inst *core.Instance, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	start := time.Now()
+	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s := core.NewSchedule(inst)
+	var c Counters
+
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	lists := make([][]item, nT)
+	for s.Len() < k {
+		// Layer start: regenerate and score every valid assignment
+		// (Algorithm 2, lines 3-8).
+		for t := 0; t < nT; t++ {
+			items := lists[t][:0]
+			for e := 0; e < nE; e++ {
+				if !s.Valid(e, t) {
+					continue
+				}
+				items = append(items, item{e: int32(e), score: sc.Score(s, e, t), updated: true})
+				c.ScoreEvals++
+			}
+			sortItems(items)
+			lists[t] = items
+		}
+		assigned := horSelectLayer(s, lists, k, &c)
+		if assigned == 0 {
+			break // no valid assignment anywhere: k is unreachable
+		}
+	}
+	return finish(sc, s, c, start), nil
+}
+
+// horSelectLayer runs the horizontal selection of one layer (Algorithm 2,
+// lines 9-14): a per-interval cursor M starts at each list head; the global
+// top of M is popped; if its event was taken by an earlier pop in this layer
+// the cursor advances to the interval's next available event, otherwise the
+// assignment is made and the interval is done for the layer. Returns the
+// number of assignments made.
+func horSelectLayer(s *core.Schedule, lists [][]item, k int, c *Counters) int {
+	nT := len(lists)
+	pos := make([]int, nT) // cursor into each interval's list
+	// live[t] tells whether interval t still holds a candidate in M.
+	live := make([]bool, nT)
+	for t := 0; t < nT; t++ {
+		live[t] = len(lists[t]) > 0
+	}
+	made := 0
+	for s.Len() < k {
+		// Pop the global top of M.
+		bestT := -1
+		for t := 0; t < nT; t++ {
+			if !live[t] {
+				continue
+			}
+			it := lists[t][pos[t]]
+			if bestT < 0 || betterFull(it.score, it.e, t, lists[bestT][pos[bestT]].score, lists[bestT][pos[bestT]].e, bestT) {
+				bestT = t
+			}
+		}
+		if bestT < 0 {
+			break // M exhausted
+		}
+		c.Examined++
+		it := lists[bestT][pos[bestT]]
+		if _, taken := s.AssignedInterval(int(it.e)); !taken {
+			if err := s.Assign(int(it.e), bestT); err != nil {
+				// Entries were valid at layer start and the interval
+				// has not been touched since; this cannot happen.
+				panic("algo: HOR layer assignment failed: " + err.Error())
+			}
+			live[bestT] = false // one assignment per interval per layer
+			made++
+			continue
+		}
+		// The event was claimed by another interval this layer: advance
+		// to the interval's next entry whose event is still available
+		// (Algorithm 2, lines 13-14).
+		p := pos[bestT] + 1
+		for p < len(lists[bestT]) {
+			c.Examined++
+			if _, taken := s.AssignedInterval(int(lists[bestT][p].e)); !taken {
+				break
+			}
+			p++
+		}
+		pos[bestT] = p
+		if p == len(lists[bestT]) {
+			live[bestT] = false
+		}
+	}
+	return made
+}

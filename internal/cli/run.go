@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/seio"
+	"repro/internal/sim"
+)
+
+// Sesrun schedules an SES instance read from JSON and reports the schedule,
+// its expected attendance and the work performed.
+func Sesrun(stdin io.Reader, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sesrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "-", "instance JSON file ('-' = stdin)")
+		algoName = fs.String("algo", "HOR-I", "algorithm: ALG|INC|HOR|HOR-I|TOP|RAND")
+		k        = fs.Int("k", 10, "number of events to schedule")
+		out      = fs.String("o", "", "write the schedule as JSON to this file")
+		seed     = fs.Uint64("seed", 1, "seed for RAND and -simulate")
+		simulate = fs.Int("simulate", 0, "cross-check Ω with this many Monte-Carlo trials")
+		workers  = fs.Int("workers", 0, "parallelize score computations across this many goroutines (large instances)")
+		quiet    = fs.Bool("q", false, "suppress the per-event table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	inst, err := seio.ReadInstance(r)
+	if err != nil {
+		return fail(stderr, "sesrun", err)
+	}
+	s, err := algo.NewWithOptions(*algoName, *seed, core.ScorerOptions{Workers: *workers})
+	if err != nil {
+		return fail(stderr, "sesrun", err)
+	}
+	res, err := s.Schedule(inst, *k)
+	if err != nil {
+		return fail(stderr, "sesrun", err)
+	}
+	fmt.Fprintf(stdout, "%s scheduled %d/%d events in %v\n", s.Name(), res.Schedule.Len(), *k, res.Elapsed)
+	fmt.Fprintf(stdout, "utility Ω = %.4f   score computations = %d (×%d users = %d)   assignments examined = %d\n",
+		res.Utility, res.ScoreEvals, inst.NumUsers(), res.Computations(inst.NumUsers()), res.Examined)
+	if !*quiet {
+		sc := core.NewScorer(inst)
+		for _, a := range res.Schedule.Assignments() {
+			name := inst.Events[a.Event].Name
+			if name == "" {
+				name = fmt.Sprintf("e%d", a.Event)
+			}
+			at := inst.Intervals[a.Interval].Name
+			if at == "" {
+				at = fmt.Sprintf("t%d", a.Interval)
+			}
+			fmt.Fprintf(stdout, "  %-24s @ %-12s ω = %8.3f\n", name, at, sc.EventAttendance(res.Schedule, a.Event))
+		}
+	}
+	if *simulate > 0 {
+		analytic, simulated, relErr, err := sim.Compare(inst, res.Schedule, *simulate, *seed)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		fmt.Fprintf(stdout, "simulation (%d trials): Ω analytic %.4f vs simulated %.4f (%.2f%% off)\n",
+			*simulate, analytic, simulated, 100*relErr)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		defer f.Close()
+		if err := seio.WriteSchedule(f, inst, res.Schedule); err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,50 @@
+package core
+
+// RunningExample builds the paper's running example (Figure 1): four
+// candidate events e1–e4 over two stages and a room, two time intervals,
+// two competing events c1/c2, and two users with the interest and activity
+// values of Figure 1d.
+//
+// The paper does not exercise the resources constraint in the example
+// ("for the sake of simplicity, the resources constraint has been omitted"),
+// so every event requires 1 unit against an ample θ = 10.
+//
+// The fixture is used by the golden tests that reproduce Figures 2–4 and by
+// the quickstart example.
+func RunningExample() *Instance {
+	events := []Event{
+		{Name: "e1", Location: 1, Resources: 1}, // Stage 1
+		{Name: "e2", Location: 1, Resources: 1}, // Stage 1
+		{Name: "e3", Location: 2, Resources: 1}, // Room A
+		{Name: "e4", Location: 3, Resources: 1}, // Stage 2
+	}
+	intervals := []Interval{
+		{Name: "t1"}, // Friday 8–11pm
+		{Name: "t2"}, // Saturday 6–9pm
+	}
+	competing := []Competing{
+		{Name: "c1", Interval: 0}, // Friday 6–9pm
+		{Name: "c2", Interval: 1}, // Saturday 8–10pm
+	}
+	inst, err := NewInstance(events, intervals, competing, 2, 10)
+	if err != nil {
+		panic("core: running example construction failed: " + err.Error())
+	}
+	// Figure 1d, user u1.
+	for e, v := range []float64{0.9, 0.3, 0, 0.6} {
+		inst.SetInterest(0, e, v)
+	}
+	inst.SetCompetingInterest(0, 0, 0.8)
+	inst.SetCompetingInterest(0, 1, 0.3)
+	inst.SetActivity(0, 0, 0.8)
+	inst.SetActivity(0, 1, 0.5)
+	// Figure 1d, user u2.
+	for e, v := range []float64{0.2, 0.6, 0.1, 0.6} {
+		inst.SetInterest(1, e, v)
+	}
+	inst.SetCompetingInterest(1, 0, 0.4)
+	inst.SetCompetingInterest(1, 1, 0.7)
+	inst.SetActivity(1, 0, 0.5)
+	inst.SetActivity(1, 1, 0.7)
+	return inst
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScorerOptionsValidation(t *testing.T) {
+	inst := RunningExample()
+	cases := []ScorerOptions{
+		{UserWeights: []float64{1}},         // wrong length (2 users)
+		{UserWeights: []float64{1, -0.5}},   // negative weight
+		{EventCost: []float64{1, 2, 3}},     // wrong length (4 events)
+		{EventCost: []float64{1, 2, -1, 0}}, // negative cost
+	}
+	for i, opts := range cases {
+		if _, err := NewScorerWithOptions(inst, opts); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opts)
+		}
+	}
+	if _, err := NewScorerWithOptions(inst, ScorerOptions{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+func TestZeroOptionsMatchesPlainScorer(t *testing.T) {
+	inst := RunningExample()
+	plain := NewScorer(inst)
+	opt, err := NewScorerWithOptions(inst, ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 3, 1)
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			if plain.Score(s, e, tv) != opt.Score(s, e, tv) {
+				t.Fatalf("score(e%d,t%d) differs with zero options", e, tv)
+			}
+		}
+	}
+	if plain.Utility(s) != opt.Utility(s) {
+		t.Fatal("utility differs with zero options")
+	}
+}
+
+// Uniform weights w scale every score and the utility by exactly w.
+func TestUniformWeightsScale(t *testing.T) {
+	inst := RunningExample()
+	plain := NewScorer(inst)
+	weighted, err := NewScorerWithOptions(inst, ScorerOptions{UserWeights: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 3, 1)
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			p, w := plain.Score(s, e, tv), weighted.Score(s, e, tv)
+			if math.Abs(w-2*p) > 1e-6 {
+				t.Fatalf("score(e%d,t%d): weighted %v, want 2×%v", e, tv, w, p)
+			}
+		}
+	}
+	if p, w := plain.Utility(s), weighted.Utility(s); math.Abs(w-2*p) > 1e-6 {
+		t.Fatalf("utility: weighted %v, want 2×%v", w, p)
+	}
+}
+
+// Zero-weight users vanish: utility equals the single remaining user's
+// contribution.
+func TestZeroWeightUserVanishes(t *testing.T) {
+	inst := RunningExample()
+	sc, err := NewScorerWithOptions(inst, ScorerOptions{UserWeights: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 0, 0) // e1 @ t1
+	// Only u1 counts: ω(e1,t1) for u1 = 0.8·0.9/(0.8+0.9) = 0.423529.
+	if got := sc.Utility(s); math.Abs(got-0.423529) > 1e-4 {
+		t.Errorf("weighted utility = %v, want 0.423529", got)
+	}
+	// Rho stays a pure probability, unweighted.
+	if got := sc.Rho(s, 1, 0); got == 0 {
+		t.Error("Rho must not apply user weights")
+	}
+}
+
+// Costs shift each event's scores by a constant and the utility by the sum
+// of scheduled costs (the profit-oriented variant).
+func TestEventCostShifts(t *testing.T) {
+	inst := RunningExample()
+	plain := NewScorer(inst)
+	costs := []float64{0.1, 0.2, 0.3, 0.4}
+	sc, err := NewScorerWithOptions(inst, ScorerOptions{EventCost: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 3, 1)
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			p, c := plain.Score(s, e, tv), sc.Score(s, e, tv)
+			if math.Abs(c-(p-costs[e])) > 1e-9 {
+				t.Fatalf("score(e%d,t%d): cost-adjusted %v, want %v−%v", e, tv, c, p, costs[e])
+			}
+		}
+	}
+	if p, c := plain.Utility(s), sc.Utility(s); math.Abs(c-(p-0.4)) > 1e-9 {
+		t.Fatalf("utility: %v, want %v − 0.4", c, p)
+	}
+	// An expensive event can have a negative score — legal in the profit
+	// variant.
+	expensive, err := NewScorerWithOptions(inst, ScorerOptions{EventCost: []float64{5, 5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := expensive.Score(s, 0, 0); got >= 0 {
+		t.Errorf("score with cost 5 = %v, want negative", got)
+	}
+}
+
+// The telescoping identity survives the extensions: Ω equals the sum of the
+// selected gains under weights and costs together.
+func TestExtensionsTelescope(t *testing.T) {
+	inst := randomInstance(11, 10, 4, 5, 25)
+	weights := make([]float64, 25)
+	for i := range weights {
+		weights[i] = 0.1 * float64(i%7)
+	}
+	costs := make([]float64, 10)
+	for i := range costs {
+		costs[i] = 0.5 * float64(i%3)
+	}
+	sc, err := NewScorerWithOptions(inst, ScorerOptions{UserWeights: weights, EventCost: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	gains := 0.0
+	for _, a := range [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 2}} {
+		if !s.Valid(a[0], a[1]) {
+			continue
+		}
+		gains += sc.Score(s, a[0], a[1])
+		mustAssign(t, s, a[0], a[1])
+	}
+	if u := sc.Utility(s); math.Abs(u-gains) > 1e-9 {
+		t.Fatalf("Ω = %v, telescoped gains = %v", u, gains)
+	}
+}
+
+// Monotonicity (the Proposition 1 upper-bound property) survives weights and
+// costs: assigning an event never raises another assignment's score.
+func TestExtensionsPreserveMonotonicity(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		inst := randomInstance(seed, 8, 3, 4, 20)
+		weights := make([]float64, 20)
+		costs := make([]float64, 8)
+		for i := range weights {
+			weights[i] = float64(i%5) * 0.3
+		}
+		for i := range costs {
+			costs[i] = float64(i%4) * 0.2
+		}
+		sc, err := NewScorerWithOptions(inst, ScorerOptions{UserWeights: weights, EventCost: costs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSchedule(inst)
+		before := make([]float64, inst.NumEvents())
+		for e := range before {
+			before[e] = sc.Score(s, e, 0)
+		}
+		assigned := -1
+		for e := 0; e < inst.NumEvents(); e++ {
+			if s.Valid(e, 0) {
+				mustAssign(t, s, e, 0)
+				assigned = e
+				break
+			}
+		}
+		for e := 0; e < inst.NumEvents(); e++ {
+			if e == assigned {
+				continue
+			}
+			if got := sc.Score(s, e, 0); got > before[e]+1e-9 {
+				t.Fatalf("seed %d: score rose under extensions: %v → %v", seed, before[e], got)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Parallel scoring must agree with sequential scoring to float accumulation
+// error and be deterministic for a fixed worker count.
+func TestParallelScoreAgreement(t *testing.T) {
+	// Users above the parallelThreshold so the parallel path engages.
+	nU := parallelThreshold + 100
+	inst := randomInstance(21, 6, 3, 4, nU)
+	seq := NewScorer(inst)
+	par, err := NewScorerWithOptions(inst, ScorerOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 0, 0)
+	for e := 1; e < inst.NumEvents(); e++ {
+		for tv := 0; tv < inst.NumIntervals(); tv++ {
+			a, b := seq.Score(s, e, tv), par.Score(s, e, tv)
+			if rel := math.Abs(a-b) / math.Max(1, math.Abs(a)); rel > 1e-12 {
+				t.Fatalf("score(e%d,t%d): sequential %v vs parallel %v", e, tv, a, b)
+			}
+			if c := par.Score(s, e, tv); c != b {
+				t.Fatalf("parallel scoring not deterministic: %v vs %v", b, c)
+			}
+		}
+	}
+}
+
+// Below the threshold the parallel scorer must take the sequential path and
+// produce bit-identical results.
+func TestParallelScoreSmallInstanceSequential(t *testing.T) {
+	inst := randomInstance(22, 6, 3, 4, 50)
+	seq := NewScorer(inst)
+	par, err := NewScorerWithOptions(inst, ScorerOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	for e := 0; e < inst.NumEvents(); e++ {
+		for tv := 0; tv < inst.NumIntervals(); tv++ {
+			if seq.Score(s, e, tv) != par.Score(s, e, tv) {
+				t.Fatal("small-instance parallel scorer diverged from sequential")
+			}
+		}
+	}
+}
+
+func TestParallelWithCostAndWeights(t *testing.T) {
+	nU := parallelThreshold + 7
+	inst := randomInstance(23, 5, 2, 3, nU)
+	weights := make([]float64, nU)
+	for i := range weights {
+		weights[i] = float64(i%3) * 0.5
+	}
+	costs := []float64{0.5, 0.4, 0.3, 0.2, 0.1}
+	opts := ScorerOptions{UserWeights: weights, EventCost: costs}
+	seq, err := NewScorerWithOptions(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 3
+	par, err := NewScorerWithOptions(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	mustAssign(t, s, 4, 1)
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			a, b := seq.Score(s, e, tv), par.Score(s, e, tv)
+			if rel := math.Abs(a-b) / math.Max(1, math.Abs(a)); rel > 1e-12 {
+				t.Fatalf("score(e%d,t%d) with extensions: %v vs %v", e, tv, a, b)
+			}
+		}
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	inst := RunningExample()
+	if _, err := NewScorerWithOptions(inst, ScorerOptions{Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+// Large-user smoke: a full scheduling run above the parallel threshold with
+// workers enabled stays consistent with the sequential scorer's decisions
+// at the schedule level (same instance, same greedy rule; parallel float
+// reassociation must not flip any selection on this well-separated
+// instance).
+func TestLargeUserParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates ~100MB")
+	}
+	nU := parallelThreshold + 1000
+	inst := randomInstance(31, 8, 4, 6, nU)
+	seq := NewScorer(inst)
+	par, err := NewScorerWithOptions(inst, ScorerOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(inst)
+	// Greedy by hand with both scorers; selections must agree.
+	for step := 0; step < 4; step++ {
+		bestE, bestT := -1, -1
+		best := 0.0
+		for e := 0; e < inst.NumEvents(); e++ {
+			for tv := 0; tv < inst.NumIntervals(); tv++ {
+				if !s.Valid(e, tv) {
+					continue
+				}
+				a, b := seq.Score(s, e, tv), par.Score(s, e, tv)
+				if rel := (a - b) / a; rel > 1e-9 || rel < -1e-9 {
+					t.Fatalf("scorers diverged at (e%d,t%d): %v vs %v", e, tv, a, b)
+				}
+				if bestE < 0 || a > best {
+					bestE, bestT, best = e, tv, a
+				}
+			}
+		}
+		if err := s.Assign(bestE, bestT); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Names lists the dataset labels of the evaluation in plot order: the two
+// (simulated) real datasets followed by the synthetic distributions shown in
+// the paper (Normal and the other zipfian exponents behave like Uniform and
+// Zipf-2 respectively and are available under their own labels).
+func Names() []string { return []string{"Meetup", "Concerts", "Unf", "Zip"} }
+
+// Params carries the per-experiment knobs shared by all dataset builders.
+// Fields mirror Table 1; zero values fall back to the paper's defaults for
+// the chosen k.
+type Params struct {
+	K        int
+	NumUsers int
+	Seed     uint64
+	// NumEvents / NumIntervals / NumLocations override the defaults
+	// (3k, 3k/2, 50) when positive — the Figure 6/7/9 sweeps use them.
+	NumEvents    int
+	NumIntervals int
+	NumLocations int
+	// CompetingMin/Max override the default U[1,16] when CompetingMax > 0.
+	CompetingMin, CompetingMax int
+	// CompetingInterestScale multiplies competing-event interests
+	// (synthetic datasets only; 0 = 1.0).
+	CompetingInterestScale float64
+}
+
+func (p Params) events() int {
+	if p.NumEvents > 0 {
+		return p.NumEvents
+	}
+	return 3 * p.K
+}
+
+func (p Params) intervals() int {
+	if p.NumIntervals > 0 {
+		return p.NumIntervals
+	}
+	return 3 * p.K / 2
+}
+
+func (p Params) locations() int {
+	if p.NumLocations > 0 {
+		return p.NumLocations
+	}
+	return 50
+}
+
+func (p Params) competing() (int, int) {
+	if p.CompetingMax > 0 {
+		return p.CompetingMin, p.CompetingMax
+	}
+	return 1, 16
+}
+
+// ByName builds the named dataset ("Meetup", "Concerts", "Unf", "Nrm",
+// "Zip"/"Zip1"/"Zip3") with the given parameters.
+func ByName(name string, p Params) (*core.Instance, error) {
+	if p.K <= 0 || p.NumUsers <= 0 {
+		return nil, fmt.Errorf("dataset: ByName needs positive K and NumUsers, got %d, %d", p.K, p.NumUsers)
+	}
+	cmin, cmax := p.competing()
+	switch name {
+	case "Meetup", "meetup":
+		cfg := DefaultMeetupConfig(p.K, p.NumUsers, p.Seed)
+		cfg.NumEvents = p.events()
+		cfg.NumIntervals = p.intervals()
+		cfg.NumLocations = p.locations()
+		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
+		return MeetupSim(cfg)
+	case "Concerts", "concerts":
+		cfg := DefaultConcertsConfig(p.K, p.NumUsers, p.Seed)
+		cfg.NumAlbums = p.events()
+		cfg.NumIntervals = p.intervals()
+		cfg.NumLocations = p.locations()
+		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
+		return ConcertsSim(cfg)
+	default:
+		dist, err := ParseDistribution(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := DefaultConfig(p.K, p.NumUsers, dist, p.Seed)
+		cfg.NumEvents = p.events()
+		cfg.NumIntervals = p.intervals()
+		cfg.NumLocations = p.locations()
+		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
+		cfg.CompetingInterestScale = p.CompetingInterestScale
+		return Generate(cfg)
+	}
+}

@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// ConcertsConfig parameterizes ConcertsSim, the generative stand-in for the
+// paper's Concerts dataset (Yahoo! "Music user ratings of musical tracks,
+// albums, artists and genres").
+//
+// The paper selects the 89K albums carrying at least one genre and the
+// 379,391 users who rated at least 10 genres, then derives the user-album
+// interest with:
+//
+//	µ(u, a) = (Σ_{g∈G_a} r_g) / |G_a|,  r_g = 1 when u did not rate genre g
+//
+// ConcertsSim synthesizes the raw material — a genre taxonomy with zipfian
+// popularity, albums tagged with 1-4 genres, per-user genre ratings — and
+// then applies exactly that formula. The defaulting of unrated genres to 1
+// shifts the interest mass upward and compresses its variance, which is the
+// structural signature distinguishing Concerts from the synthetic datasets
+// in the paper's plots.
+type ConcertsConfig struct {
+	Seed uint64
+	// NumUsers defaults to 379391 at paper scale.
+	NumUsers int
+	// NumAlbums is the candidate-event pool (|E|); albums are the music
+	// concerts being scheduled across festival stages.
+	NumAlbums int
+	// NumIntervals is |T| (festival sessions).
+	NumIntervals int
+	// NumGenres is the genre-taxonomy size.
+	NumGenres int
+	// GenresPerAlbum bounds the genres tagged on one album (≥1).
+	GenresPerAlbum int
+	// MinRatedGenres mirrors the paper's ≥10-rated-genres user filter.
+	MinRatedGenres int
+	// MaxRatedGenres bounds the ratings per user.
+	MaxRatedGenres int
+	// NumLocations (stages), Theta, ResourceMaxFrac, CompetingMin/Max
+	// mirror Config.
+	NumLocations    int
+	Theta           float64
+	ResourceMaxFrac float64
+	CompetingMin    int
+	CompetingMax    int
+}
+
+// DefaultConcertsConfig mirrors the Concerts setting at the default
+// parameter values for k scheduled events and the given user scale.
+func DefaultConcertsConfig(k, numUsers int, seed uint64) ConcertsConfig {
+	return ConcertsConfig{
+		Seed:            seed,
+		NumUsers:        numUsers,
+		NumAlbums:       3 * k,
+		NumIntervals:    3 * k / 2,
+		NumGenres:       150,
+		GenresPerAlbum:  4,
+		MinRatedGenres:  10,
+		MaxRatedGenres:  40,
+		NumLocations:    50,
+		Theta:           30,
+		ResourceMaxFrac: 0.5,
+		CompetingMin:    1,
+		CompetingMax:    16,
+	}
+}
+
+// Validate checks the configuration.
+func (c ConcertsConfig) Validate() error {
+	switch {
+	case c.NumUsers <= 0 || c.NumAlbums <= 0 || c.NumIntervals <= 0:
+		return fmt.Errorf("dataset: concerts sizes must be positive (users %d, albums %d, intervals %d)", c.NumUsers, c.NumAlbums, c.NumIntervals)
+	case c.NumGenres <= 0:
+		return fmt.Errorf("dataset: NumGenres = %d", c.NumGenres)
+	case c.GenresPerAlbum <= 0 || c.GenresPerAlbum > c.NumGenres:
+		return fmt.Errorf("dataset: GenresPerAlbum = %d with %d genres", c.GenresPerAlbum, c.NumGenres)
+	case c.MinRatedGenres <= 0 || c.MaxRatedGenres < c.MinRatedGenres || c.MaxRatedGenres > c.NumGenres:
+		return fmt.Errorf("dataset: rated-genre range [%d,%d] with %d genres", c.MinRatedGenres, c.MaxRatedGenres, c.NumGenres)
+	case c.NumLocations <= 0 || c.Theta <= 0:
+		return fmt.Errorf("dataset: NumLocations = %d, Theta = %v", c.NumLocations, c.Theta)
+	case c.ResourceMaxFrac <= 0 || c.ResourceMaxFrac > 1:
+		return fmt.Errorf("dataset: ResourceMaxFrac = %v", c.ResourceMaxFrac)
+	case c.CompetingMin < 0 || c.CompetingMax < c.CompetingMin:
+		return fmt.Errorf("dataset: competing range [%d,%d]", c.CompetingMin, c.CompetingMax)
+	}
+	return nil
+}
+
+// ConcertsSim generates the simulated Concerts instance.
+func ConcertsSim(cfg ConcertsConfig) (*core.Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := randx.New(cfg.Seed)
+	genrePop := randx.NewZipf(cfg.NumGenres, 1)
+
+	// Albums (candidate events) and their genre sets.
+	drawGenres := func(maxG int) []int {
+		n := r.IntRange(1, maxG)
+		seen := make(map[int]bool, n)
+		var gs []int
+		for len(gs) < n {
+			g := genrePop.Rank(r) - 1
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			gs = append(gs, g)
+		}
+		return gs
+	}
+	events := make([]core.Event, cfg.NumAlbums)
+	albumGenres := make([][]int, cfg.NumAlbums)
+	maxRes := cfg.ResourceMaxFrac * cfg.Theta
+	if maxRes < 1 {
+		maxRes = 1
+	}
+	for i := range events {
+		events[i] = core.Event{
+			Name:      fmt.Sprintf("album-%d", i+1),
+			Location:  r.Intn(cfg.NumLocations),
+			Resources: float64(r.IntRange(1, int(maxRes))),
+		}
+		albumGenres[i] = drawGenres(cfg.GenresPerAlbum)
+	}
+	intervals := make([]core.Interval, cfg.NumIntervals)
+	for i := range intervals {
+		intervals[i] = core.Interval{Name: fmt.Sprintf("session%d", i+1)}
+	}
+	// Competing events are concerts at nearby venues, also genre-tagged.
+	var competing []core.Competing
+	var compGenres [][]int
+	for t := 0; t < cfg.NumIntervals; t++ {
+		n := r.IntRange(cfg.CompetingMin, cfg.CompetingMax)
+		for j := 0; j < n; j++ {
+			competing = append(competing, core.Competing{
+				Name:     fmt.Sprintf("gig-%d.%d", t+1, j+1),
+				Interval: t,
+			})
+			compGenres = append(compGenres, drawGenres(cfg.GenresPerAlbum))
+		}
+	}
+	inst, err := core.NewInstance(events, intervals, competing, cfg.NumUsers, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-user genre ratings, then the paper's interest derivation.
+	ratings := make([]float64, cfg.NumGenres)
+	rated := make([]bool, cfg.NumGenres)
+	row := make([]float32, inst.NumEvents()+inst.NumCompeting())
+	act := make([]float32, inst.NumIntervals())
+	albumInterest := func(genres []int) float64 {
+		sum := 0.0
+		for _, g := range genres {
+			if rated[g] {
+				sum += ratings[g]
+			} else {
+				sum += 1 // unrated genres default to 1 (Section 4.1)
+			}
+		}
+		return sum / float64(len(genres))
+	}
+	for u := 0; u < cfg.NumUsers; u++ {
+		for i := range rated {
+			rated[i] = false
+		}
+		n := r.IntRange(cfg.MinRatedGenres, cfg.MaxRatedGenres)
+		for picked := 0; picked < n; {
+			g := genrePop.Rank(r) - 1
+			if rated[g] {
+				continue
+			}
+			rated[g] = true
+			ratings[g] = r.Float64()
+			picked++
+		}
+		for a := range events {
+			row[a] = float32(albumInterest(albumGenres[a]))
+		}
+		for ci := range competing {
+			row[len(events)+ci] = float32(albumInterest(compGenres[ci]))
+		}
+		inst.SetInterestRow(u, row)
+		// Festival-goer activity: uniform per Table 1's default.
+		for t := range act {
+			act[t] = float32(r.Float64())
+		}
+		inst.SetActivityRow(u, act)
+	}
+	return inst, nil
+}

@@ -1,0 +1,616 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// tinyOpts runs figures at the minimal structurally-intact scale.
+func tinyOpts() Options {
+	return Options{Scale: Tiny, Seed: 1}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name == "" || s.KDiv <= 0 || s.UserScale <= 0 {
+			t.Errorf("scale %q malformed: %+v", name, s)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestScaleDerivedValues(t *testing.T) {
+	if k := Paper.K(); k != 100 {
+		t.Errorf("paper k = %d, want 100", k)
+	}
+	if k := Small.K(); k != 20 {
+		t.Errorf("small k = %d, want 20", k)
+	}
+	if u := Paper.Users(100000); u != 100000 {
+		t.Errorf("paper users = %d", u)
+	}
+	if u := Tiny.Users(100000); u != 200 {
+		t.Errorf("tiny users = %d, want 200", u)
+	}
+	if u := Tiny.Users(1000); u != 40 {
+		t.Errorf("user floor = %d, want 40", u)
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf"}
+	rows, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 k values × (ALG, INC, HOR, TOP, RAND) plus HOR-I where k > |T|.
+	// k sweeps {k0/2, k0, 2k0, 5k0} with |T| = 3k0/2: HOR-I defined for
+	// 2k0 and 5k0 only.
+	k0 := Tiny.K()
+	wantMin := 4 * 5
+	if len(rows) != wantMin+2 {
+		t.Fatalf("Fig5 produced %d rows, want %d", len(rows), wantMin+2)
+	}
+	for _, r := range rows {
+		if r.Figure != "5" || r.Dataset != "Unf" || r.XName != "k" {
+			t.Fatalf("stray row %+v", r)
+		}
+		if r.Algorithm == "HOR-I" && r.K <= r.Intervals {
+			t.Errorf("HOR-I reported at k=%d ≤ |T|=%d", r.K, r.Intervals)
+		}
+		if r.Utility < 0 {
+			t.Errorf("negative utility: %+v", r)
+		}
+	}
+	_ = k0
+	// Shape check at every k: ALG utility ≥ TOP and ≥ RAND; TOP performs
+	// the minimum score evaluations among scoring methods.
+	for _, k := range []int{k0 / 2, k0, 2 * k0, 5 * k0} {
+		byAlgo := map[string]Row{}
+		for _, r := range rows {
+			if r.X == k {
+				byAlgo[r.Algorithm] = r
+			}
+		}
+		if byAlgo["ALG"].Utility < byAlgo["RAND"].Utility {
+			t.Errorf("k=%d: ALG utility %v below RAND %v", k, byAlgo["ALG"].Utility, byAlgo["RAND"].Utility)
+		}
+		if byAlgo["TOP"].ScoreEvals > byAlgo["ALG"].ScoreEvals {
+			t.Errorf("k=%d: TOP evals exceed ALG", k)
+		}
+		if byAlgo["INC"].ScoreEvals > byAlgo["ALG"].ScoreEvals {
+			t.Errorf("k=%d: INC evals %d exceed ALG %d", k, byAlgo["INC"].ScoreEvals, byAlgo["ALG"].ScoreEvals)
+		}
+		if math.Abs(byAlgo["INC"].Utility-byAlgo["ALG"].Utility) > 1e-9 {
+			t.Errorf("k=%d: INC utility differs from ALG", k)
+		}
+	}
+}
+
+func TestFig6Tiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Zip"}
+	rows, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Utility should broadly increase with |T| for the greedy methods
+	// (more intervals → less cannibalization). Compare the extremes.
+	first, last := math.NaN(), math.NaN()
+	k := Tiny.K()
+	for _, r := range rows {
+		if r.Algorithm == "ALG" && r.X == k/5 {
+			first = r.Utility
+		}
+		if r.Algorithm == "ALG" && r.X == 3*k {
+			last = r.Utility
+		}
+	}
+	if math.IsNaN(first) || math.IsNaN(last) {
+		t.Fatal("missing extreme |T| rows")
+	}
+	if last <= first {
+		t.Errorf("ALG utility did not increase with |T|: %v → %v", first, last)
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf"}
+	rows, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Algorithm == "HOR-I" {
+			t.Errorf("HOR-I must be omitted in Fig 7 (k < |T|): %+v", r)
+		}
+		if r.Figure != "7" {
+			t.Errorf("stray figure %q", r.Figure)
+		}
+	}
+	// ALG computations must grow with |E|.
+	k := Tiny.K()
+	var cSmall, cLarge int64
+	for _, r := range rows {
+		if r.Algorithm == "ALG" && r.X == k {
+			cSmall = r.Computations
+		}
+		if r.Algorithm == "ALG" && r.X == 10*k {
+			cLarge = r.Computations
+		}
+	}
+	if cLarge <= cSmall {
+		t.Errorf("ALG computations did not grow with |E|: %d → %d", cSmall, cLarge)
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	rows, err := Fig8(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := map[string]bool{}
+	for _, r := range rows {
+		figs[r.Figure] = true
+		if r.Dataset != "Unf" {
+			t.Errorf("Fig8 must use Unf, got %s", r.Dataset)
+		}
+	}
+	if !figs["8a"] || !figs["8b"] {
+		t.Fatalf("missing sub-figures: %v", figs)
+	}
+	// 8a (|T| = 3k/2 > k) must omit HOR-I; 8b (|T| = 0.65k < k) includes it.
+	for _, r := range rows {
+		if r.Figure == "8a" && r.Algorithm == "HOR-I" {
+			t.Error("HOR-I reported in Fig 8a")
+		}
+	}
+	seen := false
+	for _, r := range rows {
+		if r.Figure == "8b" && r.Algorithm == "HOR-I" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("HOR-I missing from Fig 8b")
+	}
+	// Computations = evals × users must grow with |U| while the eval
+	// count itself stays essentially flat (selections can shift slightly
+	// because each |U| draws a different interest matrix).
+	evalsAt, compAt := map[int]int64{}, map[int]int64{}
+	for _, r := range rows {
+		if r.Figure == "8a" && r.Algorithm == "ALG" {
+			evalsAt[r.X] = r.ScoreEvals
+			compAt[r.X] = r.Computations
+		}
+	}
+	if len(evalsAt) != 3 {
+		t.Fatalf("want 3 user points, got %v", evalsAt)
+	}
+	var lo, hi int64 = math.MaxInt64, 0
+	for _, e := range evalsAt {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if float64(hi-lo) > 0.1*float64(hi) {
+		t.Errorf("score evals varied with |U| by more than 10%%: %v", evalsAt)
+	}
+	us := []int{}
+	for u := range compAt {
+		us = append(us, u)
+	}
+	sort.Ints(us)
+	for i := 1; i < len(us); i++ {
+		if compAt[us[i]] <= compAt[us[i-1]] {
+			t.Errorf("computations did not grow with |U|: %v", compAt)
+		}
+	}
+}
+
+func TestFig9Tiny(t *testing.T) {
+	rows, err := Fig9(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time (examined work) should grow with the number of locations:
+	// more locations → fewer conflicts → more feasible assignments.
+	var exSmall, exLarge int64
+	for _, r := range rows {
+		if r.Algorithm == "ALG" && r.X == 5 {
+			exSmall = r.Examined
+		}
+		if r.Algorithm == "ALG" && r.X == 70 {
+			exLarge = r.Examined
+		}
+	}
+	if exLarge < exSmall {
+		t.Errorf("examined assignments shrank with more locations: %d → %d", exSmall, exLarge)
+	}
+}
+
+func TestFig10aTiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf", "Zip"}
+	rows, err := Fig10a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Algorithm == "RAND" {
+			t.Error("RAND not part of Fig 10a")
+		}
+		if r.Intervals != r.K-1 {
+			t.Errorf("worst case requires |T| = k-1, got k=%d |T|=%d", r.K, r.Intervals)
+		}
+	}
+	// HOR-I must appear (k > |T| in the worst case).
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Algorithm] = true
+	}
+	for _, a := range []string{"ALG", "INC", "HOR", "HOR-I", "TOP"} {
+		if !seen[a] {
+			t.Errorf("algorithm %s missing from Fig 10a", a)
+		}
+	}
+}
+
+func TestFig10bTiny(t *testing.T) {
+	rows, err := Fig10b(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ALG and INC; INC must examine fewer assignments in every cell.
+	type key struct {
+		xname string
+		x     int
+	}
+	algEx, incEx := map[key]int64{}, map[key]int64{}
+	for _, r := range rows {
+		k := key{r.XName, r.X}
+		switch r.Algorithm {
+		case "ALG":
+			algEx[k] = r.Examined
+		case "INC":
+			incEx[k] = r.Examined
+		default:
+			t.Fatalf("unexpected algorithm %s", r.Algorithm)
+		}
+	}
+	if len(algEx) != 9 {
+		t.Fatalf("want 9 cells (3 per parameter), got %d", len(algEx))
+	}
+	for k, a := range algEx {
+		i, ok := incEx[k]
+		if !ok {
+			t.Fatalf("INC missing for %+v", k)
+		}
+		if i >= a {
+			t.Errorf("%+v: INC examined %d ≥ ALG %d", k, i, a)
+		}
+	}
+}
+
+func TestSummaryTiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf", "Concerts"}
+	st, rows, err := Summary(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 6 {
+		t.Fatalf("runs = %d, want 6", st.Runs)
+	}
+	if st.AvgUtilHOR > st.AvgUtilALG*1.0001 {
+		t.Errorf("HOR average utility %v above ALG %v", st.AvgUtilHOR, st.AvgUtilALG)
+	}
+	if st.AvgUtilHOR < st.AvgUtilALG*0.90 {
+		t.Errorf("HOR average utility %v more than 10%% below ALG %v", st.AvgUtilHOR, st.AvgUtilALG)
+	}
+	if len(rows) != 12 {
+		t.Errorf("summary rows = %d, want 12", len(rows))
+	}
+}
+
+func TestRunnersRegistry(t *testing.T) {
+	figs := Figures()
+	for _, id := range FigureIDs() {
+		if figs[id] == nil {
+			t.Errorf("figure %q missing from registry", id)
+		}
+	}
+}
+
+func TestRenderTablesAndPlots(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf"}
+	rows, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := RenderTables(rows, "utility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Figure 9", "Unf", "locations", "ALG", "RAND"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("table missing %q:\n%s", frag, tbl)
+		}
+	}
+	plot, err := RenderPlots(rows, "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plot, "time vs locations") {
+		t.Errorf("plot missing title:\n%s", plot)
+	}
+	if _, err := RenderTables(rows, "bogus"); err == nil {
+		t.Error("bogus metric accepted")
+	}
+	if _, err := RenderPlots(rows, "bogus"); err == nil {
+		t.Error("bogus metric accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf"}
+	rows, err := Fig10b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("csv has %d records, want %d", len(recs), len(rows)+1)
+	}
+	if strings.Join(recs[0], ",") != strings.Join(ReadCSVHeader(), ",") {
+		t.Errorf("csv header = %v", recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if len(rec) != len(ReadCSVHeader()) {
+			t.Fatalf("ragged record %v", rec)
+		}
+	}
+}
+
+func TestOptionsLogging(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts()
+	o.Log = &buf
+	o.Datasets = []string{"Unf"}
+	o.Algorithms = []string{"TOP"}
+	rows, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Algorithm != "TOP" {
+			t.Errorf("algorithm filter leaked %s", r.Algorithm)
+		}
+	}
+	if !strings.Contains(buf.String(), "TOP") {
+		t.Error("log empty")
+	}
+}
+
+func TestStackingStudy(t *testing.T) {
+	o := tinyOpts()
+	pts, err := StackingStudy(o, []float64{1, 0.1, 0.001}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The gap and the stacking count must both shrink as competing
+	// interest vanishes; at scale 0.001 the gap should be near zero.
+	if pts[0].GapPct < pts[2].GapPct {
+		t.Errorf("gap did not shrink: %.3f%% at scale 1 vs %.3f%% at scale 0.001",
+			pts[0].GapPct, pts[2].GapPct)
+	}
+	if pts[2].GapPct > 0.5 {
+		t.Errorf("gap at scale 0.001 is %.3f%%, want near zero", pts[2].GapPct)
+	}
+	if pts[0].StackedIntervals < pts[2].StackedIntervals {
+		t.Errorf("stacking did not shrink: %.2f vs %.2f", pts[0].StackedIntervals, pts[2].StackedIntervals)
+	}
+}
+
+func TestFigCompetingTiny(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Unf"}
+	rows, err := FigCompeting(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's textual claim: utility slightly lower for larger
+	// competing-event counts. Compare ALG at the extremes.
+	var at4, at64 float64
+	for _, r := range rows {
+		if r.Algorithm == "ALG" && r.X == 4 {
+			at4 = r.Utility
+		}
+		if r.Algorithm == "ALG" && r.X == 64 {
+			at64 = r.Utility
+		}
+	}
+	if at4 == 0 || at64 == 0 {
+		t.Fatal("missing extreme points")
+	}
+	if at64 >= at4 {
+		t.Errorf("utility did not drop with more competing events: U[1,4] → %v, U[1,64] → %v", at4, at64)
+	}
+}
+
+func TestFigResourcesTiny(t *testing.T) {
+	rows, err := FigResources(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: methods are marginally affected by θ. Check ALG's
+	// utility varies less than 25% across the sweep (tiny scale is noisy;
+	// the claim is about the absence of a strong trend).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if r.Algorithm != "ALG" {
+			continue
+		}
+		lo = math.Min(lo, r.Utility)
+		hi = math.Max(hi, r.Utility)
+	}
+	if math.IsInf(lo, 1) {
+		t.Fatal("no ALG rows")
+	}
+	if (hi-lo)/hi > 0.25 {
+		t.Errorf("θ sweep moved ALG utility by %.0f%%; paper says marginal", 100*(hi-lo)/hi)
+	}
+}
+
+func TestFigVariantsTiny(t *testing.T) {
+	rows, err := FigVariants(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := map[string]float64{}
+	for _, r := range rows {
+		if r.Algorithm == "ALG" {
+			util[r.Dataset] = r.Utility
+		}
+	}
+	for _, ds := range []string{"Unf", "Nrm", "Zip1", "Zip", "Zip3"} {
+		if util[ds] == 0 {
+			t.Fatalf("missing variant %s (have %v)", ds, util)
+		}
+	}
+	// Nrm similar to Unf (same mean 0.5): within 20% at tiny scale.
+	if d := math.Abs(util["Nrm"]-util["Unf"]) / util["Unf"]; d > 0.2 {
+		t.Errorf("Nrm deviates from Unf by %.0f%%; paper says similar", 100*d)
+	}
+	// The zipf variants behave like each other (the paper shows Zipf-2 as
+	// representative of 1 and 3): each within 40% of Zipf-2 at tiny scale.
+	for _, z := range []string{"Zip1", "Zip3"} {
+		if d := math.Abs(util[z]-util["Zip"]) / util["Zip"]; d > 0.4 {
+			t.Errorf("%s deviates from Zip by %.0f%%; paper says similar", z, 100*d)
+		}
+	}
+}
+
+// Small-scale shape regression: the qualitative claims of Figure 5 on Zip
+// must hold at the small preset (the one EXPERIMENTS.md quotes). Skipped
+// under -short: it runs the full sweep (~2s).
+func TestFig5SmallShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale sweep")
+	}
+	o := Options{Scale: Small, Seed: 1, Datasets: []string{"Zip"}}
+	rows, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := Small.K()
+	at := func(algoName string, k int) Row {
+		for _, r := range rows {
+			if r.Algorithm == algoName && r.X == k {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s k=%d", algoName, k)
+		return Row{}
+	}
+	kMax := 5 * k0
+	// Utility ordering at every k: ALG = INC ≥ HOR ≥ TOP? (TOP can beat
+	// RAND only; HOR ≥ both baselines.)
+	for _, k := range []int{k0, kMax} {
+		alg, inc, hor := at("ALG", k), at("INC", k), at("HOR", k)
+		top, rnd := at("TOP", k), at("RAND", k)
+		if alg.Utility != inc.Utility {
+			t.Errorf("k=%d: INC utility differs from ALG", k)
+		}
+		if hor.Utility > alg.Utility+1e-9 {
+			t.Errorf("k=%d: HOR utility above ALG", k)
+		}
+		if hor.Utility < 0.95*alg.Utility {
+			t.Errorf("k=%d: HOR utility below 95%% of ALG", k)
+		}
+		if top.Utility > hor.Utility || rnd.Utility > hor.Utility {
+			t.Errorf("k=%d: baseline beat HOR (TOP %v, RAND %v, HOR %v)", k, top.Utility, rnd.Utility, hor.Utility)
+		}
+	}
+	// Computation ordering at large k: TOP < INC < ALG, HOR-I < HOR.
+	algC, incC := at("ALG", kMax).ScoreEvals, at("INC", kMax).ScoreEvals
+	topC := at("TOP", kMax).ScoreEvals
+	horC, horiC := at("HOR", kMax).ScoreEvals, at("HOR-I", kMax).ScoreEvals
+	if !(topC < incC && incC < algC) {
+		t.Errorf("computation ordering broken: TOP %d, INC %d, ALG %d", topC, incC, algC)
+	}
+	if horiC >= horC {
+		t.Errorf("HOR-I evals %d not below HOR %d", horiC, horC)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	o := tinyOpts()
+	o.Datasets = []string{"Zip"}
+	rows, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps := Speedups(rows)
+	byName := map[string]Speedup{}
+	for _, sp := range sps {
+		byName[sp.Algorithm] = sp
+	}
+	if _, ok := byName["ALG"]; ok {
+		t.Error("ALG listed in its own speedup table")
+	}
+	inc, ok := byName["INC"]
+	if !ok || inc.Points == 0 {
+		t.Fatalf("INC speedup missing: %+v", sps)
+	}
+	if inc.ComputationsX < 1 {
+		t.Errorf("INC computations ratio %v < 1; INC must never compute more than ALG", inc.ComputationsX)
+	}
+	top := byName["TOP"]
+	if top.ComputationsX <= 1 {
+		t.Errorf("TOP computations ratio %v, want > 1", top.ComputationsX)
+	}
+	rnd := byName["RAND"]
+	if rnd.ComputationsX != 0 {
+		t.Errorf("RAND computations ratio %v, want 0 (no computations)", rnd.ComputationsX)
+	}
+	out := RenderSpeedups(rows)
+	for _, frag := range []string{"speedup vs ALG", "INC", "TOP"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	if RenderSpeedups(nil) != "" {
+		t.Error("empty rows should render nothing")
+	}
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// Metrics supported by the renderer; these are the three quantities the
+// paper plots plus the Figure 10b search-space counter.
+var Metrics = []string{"utility", "computations", "time", "examined"}
+
+// MetricValue extracts a named metric from a row. Time is reported in
+// milliseconds.
+func MetricValue(r Row, metric string) (float64, error) {
+	switch metric {
+	case "utility":
+		return r.Utility, nil
+	case "computations":
+		return float64(r.Computations), nil
+	case "time":
+		return float64(r.Elapsed.Microseconds()) / 1000, nil
+	case "examined":
+		return float64(r.Examined), nil
+	case "evals":
+		return float64(r.ScoreEvals), nil
+	}
+	return 0, fmt.Errorf("exp: unknown metric %q", metric)
+}
+
+// group is one renderable panel: a figure + dataset + swept parameter.
+type group struct {
+	figure, dataset, xname string
+	xs                     []int            // sorted sweep values
+	algos                  []string         // first-seen algorithm order
+	cells                  map[string][]Row // algorithm → rows ordered like xs
+}
+
+// groupRows splits rows into panels, preserving first-seen panel and
+// algorithm order and sorting sweep values ascending.
+func groupRows(rows []Row) []*group {
+	var out []*group
+	index := map[string]*group{}
+	for _, r := range rows {
+		key := r.Figure + "/" + r.Dataset + "/" + r.XName
+		g, ok := index[key]
+		if !ok {
+			g = &group{figure: r.Figure, dataset: r.Dataset, xname: r.XName, cells: map[string][]Row{}}
+			index[key] = g
+			out = append(out, g)
+		}
+		if !containsInt(g.xs, r.X) {
+			g.xs = append(g.xs, r.X)
+		}
+		if _, ok := g.cells[r.Algorithm]; !ok {
+			g.algos = append(g.algos, r.Algorithm)
+		}
+		g.cells[r.Algorithm] = append(g.cells[r.Algorithm], r)
+	}
+	for _, g := range out {
+		sort.Ints(g.xs)
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// value looks up the metric for (algorithm, x); NaN when missing (e.g.
+// HOR-I omitted at k ≤ |T|).
+func (g *group) value(algoName string, x int, metric string) float64 {
+	for _, r := range g.cells[algoName] {
+		if r.X == x {
+			v, err := MetricValue(r, metric)
+			if err != nil {
+				return math.NaN()
+			}
+			return v
+		}
+	}
+	return math.NaN()
+}
+
+// RenderTables renders all rows as per-panel metric tables: one line per
+// sweep value, one column block per algorithm.
+func RenderTables(rows []Row, metric string) (string, error) {
+	if _, err := MetricValue(Row{}, metric); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, g := range groupRows(rows) {
+		fmt.Fprintf(&b, "Figure %s — %s — %s vs %s\n", g.figure, g.dataset, metric, g.xname)
+		header := append([]string{g.xname}, g.algos...)
+		var tblRows [][]string
+		for _, x := range g.xs {
+			row := []string{strconv.Itoa(x)}
+			for _, a := range g.algos {
+				v := g.value(a, x, metric)
+				if math.IsNaN(v) {
+					row = append(row, "-")
+				} else {
+					row = append(row, formatMetric(v, metric))
+				}
+			}
+			tblRows = append(tblRows, row)
+		}
+		b.WriteString(textplot.Table(header, tblRows))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func formatMetric(v float64, metric string) string {
+	switch metric {
+	case "utility":
+		return fmt.Sprintf("%.2f", v)
+	case "time":
+		return fmt.Sprintf("%.1fms", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// RenderPlots renders all rows as per-panel ASCII charts of one metric.
+func RenderPlots(rows []Row, metric string) (string, error) {
+	if _, err := MetricValue(Row{}, metric); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, g := range groupRows(rows) {
+		labels := make([]string, len(g.xs))
+		for i, x := range g.xs {
+			labels[i] = strconv.Itoa(x)
+		}
+		var series []textplot.Series
+		for _, a := range g.algos {
+			ys := make([]float64, len(g.xs))
+			for i, x := range g.xs {
+				ys[i] = g.value(a, x, metric)
+			}
+			series = append(series, textplot.Series{Name: a, Y: ys})
+		}
+		title := fmt.Sprintf("Figure %s — %s — %s vs %s", g.figure, g.dataset, metric, g.xname)
+		b.WriteString(textplot.Plot(title, labels, series, 12))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// csvHeader is the stable column set of WriteCSV.
+var csvHeader = []string{
+	"figure", "dataset", "algorithm", "xname", "x",
+	"k", "events", "intervals", "users",
+	"utility", "score_evals", "computations", "examined", "elapsed_ms",
+}
+
+// WriteCSV writes rows as CSV with a fixed header, for external plotting.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Dataset, r.Algorithm, r.XName, strconv.Itoa(r.X),
+			strconv.Itoa(r.K), strconv.Itoa(r.Events), strconv.Itoa(r.Intervals), strconv.Itoa(r.Users),
+			strconv.FormatFloat(r.Utility, 'f', 6, 64),
+			strconv.FormatInt(r.ScoreEvals, 10),
+			strconv.FormatInt(r.Computations, 10),
+			strconv.FormatInt(r.Examined, 10),
+			strconv.FormatFloat(float64(r.Elapsed.Microseconds())/1000, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVHeader exposes the header for tests and external tooling.
+func ReadCSVHeader() []string { return append([]string(nil), csvHeader...) }

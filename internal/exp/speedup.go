@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Speedup summarizes one method's advantage over ALG across a set of rows:
+// the paper's headline "INC is 3×, HOR/HOR-I are 3-5× faster than ALG"
+// claims in one number per method.
+type Speedup struct {
+	Algorithm string
+	// TimeX is the geometric mean of ALG_time / method_time over all
+	// sweep points where both ran (geometric, so a single outlier point
+	// cannot dominate the ratio).
+	TimeX float64
+	// ComputationsX is the geometric mean of ALG_computations /
+	// method_computations.
+	ComputationsX float64
+	// Points is the number of sweep points aggregated.
+	Points int
+}
+
+// Speedups computes per-method speedups versus ALG from harness rows,
+// pairing rows by (figure, dataset, xname, x). Methods without a matching
+// ALG row at a point skip that point; RAND (zero computations) reports
+// ComputationsX = 0.
+func Speedups(rows []Row) []Speedup {
+	type key struct {
+		fig, ds, xname string
+		x              int
+	}
+	algAt := map[key]Row{}
+	for _, r := range rows {
+		if r.Algorithm == "ALG" {
+			algAt[key{r.Figure, r.Dataset, r.XName, r.X}] = r
+		}
+	}
+	type acc struct {
+		logTime, logComp float64
+		nTime, nComp     int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for _, r := range rows {
+		if r.Algorithm == "ALG" {
+			continue
+		}
+		a, ok := algAt[key{r.Figure, r.Dataset, r.XName, r.X}]
+		if !ok {
+			continue
+		}
+		st, ok := accs[r.Algorithm]
+		if !ok {
+			st = &acc{}
+			accs[r.Algorithm] = st
+			order = append(order, r.Algorithm)
+		}
+		if r.Elapsed > 0 && a.Elapsed > 0 {
+			st.logTime += math.Log(float64(a.Elapsed) / float64(r.Elapsed))
+			st.nTime++
+		}
+		if r.Computations > 0 && a.Computations > 0 {
+			st.logComp += math.Log(float64(a.Computations) / float64(r.Computations))
+			st.nComp++
+		}
+	}
+	sort.Strings(order)
+	var out []Speedup
+	for _, name := range order {
+		st := accs[name]
+		sp := Speedup{Algorithm: name, Points: st.nTime}
+		if st.nTime > 0 {
+			sp.TimeX = math.Exp(st.logTime / float64(st.nTime))
+		}
+		if st.nComp > 0 {
+			sp.ComputationsX = math.Exp(st.logComp / float64(st.nComp))
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// RenderSpeedups prints the speedup summary as a small table.
+func RenderSpeedups(rows []Row) string {
+	sps := Speedups(rows)
+	if len(sps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("speedup vs ALG (geometric mean over sweep points):\n")
+	fmt.Fprintf(&b, "  %-6s %10s %16s %8s\n", "method", "time", "computations", "points")
+	for _, sp := range sps {
+		comp := "-"
+		if sp.ComputationsX > 0 {
+			comp = fmt.Sprintf("%.2fx", sp.ComputationsX)
+		}
+		fmt.Fprintf(&b, "  %-6s %9.2fx %16s %8d\n", sp.Algorithm, sp.TimeX, comp, sp.Points)
+	}
+	return b.String()
+}

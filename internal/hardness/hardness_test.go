@@ -1,0 +1,251 @@
+package hardness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+)
+
+func diag4() ThreeDM {
+	// n = 4, perfect diagonal matching, plus 3 distractor edges.
+	return PerfectInstance(4, []Triple{{0, 1, 2}, {1, 2, 3}, {2, 0, 1}})
+}
+
+func TestValidate(t *testing.T) {
+	p := diag4()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ThreeDM{N: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = ThreeDM{N: 2, Edges: []Triple{{0, 0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("m < n accepted")
+	}
+	bad = ThreeDM{N: 2, Edges: []Triple{{0, 0, 0}, {0, 1, 1}, {0, 1, 0}, {0, 0, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("element occurring 4 times accepted (3DM-3 bound)")
+	}
+	bad = ThreeDM{N: 2, Edges: []Triple{{0, 0, 5}, {1, 1, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	p := diag4()
+	if !p.IsMatching([]int{0, 1, 2, 3}) {
+		t.Error("diagonal not recognized as matching")
+	}
+	// Edges 0 = (0,0,0) and 4 = (0,1,2) share X=0.
+	if p.IsMatching([]int{0, 4}) {
+		t.Error("X-conflicting edges accepted as matching")
+	}
+	if p.IsMatching([]int{99}) {
+		t.Error("out-of-range edge accepted")
+	}
+	if !p.IsMatching(nil) {
+		t.Error("empty selection must be a matching")
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	p := diag4()
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := p.N, len(p.Edges)
+	if got := red.Inst.NumEvents(); got != 3*n+(m-n) {
+		t.Errorf("events = %d, want %d", got, 3*n+(m-n))
+	}
+	if got := red.Inst.NumIntervals(); got != m {
+		t.Errorf("intervals = %d, want %d", got, m)
+	}
+	if got := red.Inst.NumCompeting(); got != m {
+		t.Errorf("competing = %d, want %d (one per interval)", got, m)
+	}
+	if got := red.Inst.NumUsers(); got != 3*n+(m-n) {
+		t.Errorf("users = %d, want %d", got, 3*n+(m-n))
+	}
+	if red.K != 3*n+(m-n) {
+		t.Errorf("K = %d, want %d", red.K, 3*n+(m-n))
+	}
+	if err := red.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if red.Delta != DefaultDelta {
+		t.Errorf("delta defaulted to %v", red.Delta)
+	}
+}
+
+func TestReduceRejectsBadDelta(t *testing.T) {
+	if _, err := Reduce(diag4(), 0.2); err == nil {
+		t.Error("δ ≥ 1/12 accepted")
+	}
+	if _, err := Reduce(diag4(), -0.01); err == nil {
+		t.Error("negative δ accepted")
+	}
+}
+
+// The calibration at the heart of the proof: an element event assigned to an
+// interval whose edge contains the element yields attendance exactly
+// 0.25 + δ; assigned anywhere else it yields exactly 0.25.
+func TestCalibratedAttendance(t *testing.T) {
+	p := diag4()
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.NewScorer(red.Inst)
+
+	// Edge 0 is (0,0,0): event x0 in interval 0 is matched.
+	s := core.NewSchedule(red.Inst)
+	x0 := red.ElementEvent[0][0]
+	if err := s.Assign(x0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.EventAttendance(s, x0); math.Abs(got-(0.25+red.Delta)) > 1e-6 {
+		t.Errorf("matched attendance = %v, want %v", got, 0.25+red.Delta)
+	}
+
+	// Interval 5 is edge (1,2,3): x0 is unmatched there.
+	s2 := core.NewSchedule(red.Inst)
+	if err := s2.Assign(x0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.EventAttendance(s2, x0); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("unmatched attendance = %v, want 0.25", got)
+	}
+
+	// A filler event alone in an interval yields exactly 1.
+	s3 := core.NewSchedule(red.Inst)
+	f := red.FillerEvents[0]
+	if err := s3.Assign(f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.EventAttendance(s3, f); math.Abs(got-1) > 1e-6 {
+		t.Errorf("filler attendance = %v, want 1", got)
+	}
+}
+
+// A perfect matching's schedule achieves exactly 3n(0.25+δ) + (m−n).
+func TestPerfectMatchingUtility(t *testing.T) {
+	p := diag4()
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := red.ScheduleForMatching([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	sc := core.NewScorer(red.Inst)
+	want := red.MatchingUtility(4)
+	if got := sc.Utility(s); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Ω = %v, want %v", got, want)
+	}
+	// All K events scheduled: 3n matched + m−n fillers.
+	if s.Len() != red.K {
+		t.Errorf("schedule size %d, want %d", s.Len(), red.K)
+	}
+}
+
+// Smaller matchings give strictly lower canonical utility, monotone in size.
+func TestMatchingUtilityMonotone(t *testing.T) {
+	red, err := Reduce(diag4(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for s := 0; s <= 4; s++ {
+		u := red.MatchingUtility(s)
+		if u <= prev {
+			t.Errorf("utility not increasing at matching size %d", s)
+		}
+		prev = u
+	}
+}
+
+func TestScheduleForMatchingRejectsNonMatching(t *testing.T) {
+	red, err := Reduce(diag4(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.ScheduleForMatching([]int{0, 4}); err == nil {
+		t.Error("non-matching accepted")
+	}
+}
+
+// The resources constraint does the proof's work: an interval holding a
+// filler (ξ=3=θ) cannot take any element event, and vice versa at most three
+// element events fit.
+func TestResourceGadget(t *testing.T) {
+	red, err := Reduce(diag4(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSchedule(red.Inst)
+	if err := s.Assign(red.FillerEvents[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Feasible(red.ElementEvent[0][0], 0) {
+		t.Error("element event fits alongside a filler (θ gadget broken)")
+	}
+	s2 := core.NewSchedule(red.Inst)
+	for d := 0; d < 3; d++ {
+		if err := s2.Assign(red.ElementEvent[d][0], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2.Feasible(red.ElementEvent[0][1], 0) {
+		t.Error("fourth element event fits in one interval (θ gadget broken)")
+	}
+}
+
+// Greedy on the reduced instance: fillers (attendance 1) are selected first
+// and tie-break into the lowest-indexed intervals. With the distractor edges
+// ordered before the diagonal, the fillers absorb the distractor intervals
+// and greedy then matches every element on the diagonal — reaching exactly
+// the perfect-matching utility. (With the diagonal first, greedy provably
+// loses δ per blocked element; the second case documents that gap.)
+func TestGreedyOnReducedInstance(t *testing.T) {
+	distractorsFirst := ThreeDM{N: 4, Edges: []Triple{
+		{0, 1, 2}, {1, 2, 3}, {2, 0, 1}, // distractors: intervals 0-2
+		{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}, // diagonal: intervals 3-6
+	}}
+	red, err := Reduce(distractorsFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := algo.ALG{}.Schedule(red.Inst, red.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := red.MatchingUtility(4)
+	if math.Abs(res.Utility-want) > 1e-6 {
+		t.Errorf("ALG utility %v, want perfect-matching utility %v", res.Utility, want)
+	}
+
+	// Diagonal first: the fillers tie-break onto the diagonal intervals
+	// and block z0 from its only matching edge — greedy loses exactly δ.
+	red2, err := Reduce(diag4(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := algo.ALG{}.Schedule(red2.Inst, red2.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := red2.MatchingUtility(4) - red2.Delta
+	if math.Abs(res2.Utility-want2) > 1e-6 {
+		t.Errorf("ALG utility %v on diagonal-first instance, want %v (perfect − δ)", res2.Utility, want2)
+	}
+}

@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hardness"
+)
+
+func TestSolveRunningExample(t *testing.T) {
+	inst := core.RunningExample()
+	res, err := Solve(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	// A pleasing side-result: greedy is NOT optimal on the paper's own
+	// running example. ALG/INC reach Ω = 1.4073 with {e4@t2, e1@t1, e2@t2}
+	// (Figure 2), but stacking e1 and e4 together in t1 and giving e2 sole
+	// use of t2 yields Ω = 1.4281.
+	ra, err := algo.ALG{}.Schedule(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility < ra.Utility-1e-9 {
+		t.Fatalf("optimum %v below greedy %v", res.Utility, ra.Utility)
+	}
+	if math.Abs(res.Utility-1.428149) > 5e-4 {
+		t.Errorf("optimum = %.6f, want 1.428149", res.Utility)
+	}
+	if math.Abs(ra.Utility-1.407302) > 5e-4 {
+		t.Errorf("greedy = %.6f, want 1.407302", ra.Utility)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	inst := core.RunningExample()
+	if _, err := Solve(inst, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	big, err := dataset.Generate(dataset.DefaultConfig(20, 10, dataset.Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(big, 5); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+// The exact optimum dominates every heuristic on random small instances,
+// and greedy stays within a reasonable factor (SES's greedy has no formal
+// guarantee, but on these instances it should stay close).
+func TestOptimumDominatesHeuristics(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		inst := tinyInstance(t, seed)
+		res, err := Solve(inst, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"ALG", "INC", "HOR", "HOR-I", "TOP", "RAND"} {
+			s, _ := algo.New(name, seed)
+			h, err := s.Schedule(inst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Utility > res.Utility+1e-9 {
+				t.Fatalf("seed %d: %s utility %v beats the exact optimum %v", seed, name, h.Utility, res.Utility)
+			}
+		}
+		ra, _ := algo.ALG{}.Schedule(inst, 3)
+		if ra.Utility < 0.5*res.Utility {
+			t.Errorf("seed %d: greedy %v below half the optimum %v", seed, ra.Utility, res.Utility)
+		}
+	}
+}
+
+func tinyInstance(t *testing.T, seed uint64) *core.Instance {
+	t.Helper()
+	cfg := dataset.DefaultConfig(2, 20, dataset.Zipf2, seed)
+	cfg.NumEvents = 6
+	cfg.NumIntervals = 3
+	cfg.NumLocations = 3
+	inst, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// The hardness reduction's intended optimum: on a 3DM-3 instance with a
+// perfect matching, the exact SES optimum equals the matching utility
+// 3n(0.25+δ) + (m−n) — certifying that no schedule beats the construction.
+func TestReductionOptimumIsMatchingUtility(t *testing.T) {
+	p := hardness.PerfectInstance(2, []hardness.Triple{{X: 0, Y: 1, Z: 1}})
+	red, err := hardness.Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(red.Inst, red.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := red.MatchingUtility(2)
+	if math.Abs(res.Utility-want) > 1e-6 {
+		t.Errorf("exact optimum %v, matching utility %v", res.Utility, want)
+	}
+}
+
+// UnassignLast stack discipline: a full backtracking pass leaves the
+// schedule empty and byte-identical in behaviour to a fresh one.
+func TestBacktrackingRestoresState(t *testing.T) {
+	inst := tinyInstance(t, 3)
+	sc := core.NewScorer(inst)
+	s := core.NewSchedule(inst)
+	before := make([]float64, 0)
+	for e := 0; e < inst.NumEvents(); e++ {
+		before = append(before, sc.Score(s, e, 0))
+	}
+	// Push and pop a few assignments.
+	pushed := 0
+	for e := 0; e < inst.NumEvents() && pushed < 3; e++ {
+		if s.Valid(e, 0) {
+			if err := s.Assign(e, 0); err != nil {
+				t.Fatal(err)
+			}
+			pushed++
+		}
+	}
+	for i := 0; i < pushed; i++ {
+		if err := s.UnassignLast(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("schedule not empty after full undo: %d", s.Len())
+	}
+	for e := 0; e < inst.NumEvents(); e++ {
+		if got := sc.Score(s, e, 0); math.Abs(got-before[e]) > 1e-12 {
+			t.Fatalf("score(e%d,t0) drifted after undo: %v vs %v", e, got, before[e])
+		}
+	}
+	if err := s.UnassignLast(); err == nil {
+		t.Error("UnassignLast on empty schedule accepted")
+	}
+}

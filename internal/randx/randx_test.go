@@ -1,0 +1,335 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("bucket %d count %d deviates from %v by more than 6%%", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(9)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 8)
+		if v < 3 || v > 8 {
+			t.Fatalf("IntRange(3,8) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 8 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("IntRange never produced an endpoint")
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if v := r.IntRange(5, 5); v != 5 {
+			t.Fatalf("IntRange(5,5) = %d", v)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Range(-2,3) = %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm(0.5, 0.25)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-0.25) > 0.01 {
+		t.Fatalf("normal stddev = %v, want ~0.25", math.Sqrt(variance))
+	}
+}
+
+func TestNormClamped(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 50000; i++ {
+		x := r.NormClamped(0.5, 0.25, 0, 1)
+		if x < 0 || x > 1 {
+			t.Fatalf("NormClamped escaped [0,1]: %v", x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed the multiset: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(31)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d/100 times", same)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	z := NewZipf(50, 2)
+	r := New(37)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank(r)
+		if k < 1 || k > 50 {
+			t.Fatalf("Rank = %d out of [1,50]", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 2)
+	r := New(41)
+	const n = 100000
+	counts := make([]int, 101)
+	for i := 0; i < n; i++ {
+		counts[z.Rank(r)]++
+	}
+	// With s=2 over 100 ranks, rank 1 holds ~61% of the mass.
+	p1 := float64(counts[1]) / n
+	if p1 < 0.55 || p1 > 0.68 {
+		t.Fatalf("P(rank=1) = %v, want ~0.61", p1)
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[4] {
+		t.Fatalf("zipf counts not decreasing: %v %v %v", counts[1], counts[2], counts[4])
+	}
+}
+
+func TestZipfProbabilitySumsToOne(t *testing.T) {
+	for _, s := range []float64{1, 2, 3} {
+		z := NewZipf(30, s)
+		sum := 0.0
+		for k := 1; k <= 30; k++ {
+			sum += z.Probability(k)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfProbabilityOutOfRange(t *testing.T) {
+	z := NewZipf(10, 1)
+	if z.Probability(0) != 0 || z.Probability(11) != 0 {
+		t.Fatal("out-of-range ranks must have probability 0")
+	}
+}
+
+func TestZipfValue(t *testing.T) {
+	z := NewZipf(10, 1)
+	r := New(43)
+	for i := 0; i < 10000; i++ {
+		v := z.Value(r)
+		if v <= 0 || v > 1 {
+			t.Fatalf("Value = %v out of (0,1]", v)
+		}
+	}
+}
+
+func TestZipfValueLongTail(t *testing.T) {
+	// Interest-style values: most draws must be small, the mean well
+	// below the uniform 0.5.
+	z := NewZipf(100, 2)
+	r := New(47)
+	const n = 50000
+	sum, small := 0.0, 0
+	for i := 0; i < n; i++ {
+		v := z.Value(r)
+		sum += v
+		if v <= 0.05 {
+			small++
+		}
+	}
+	if mean := sum / n; mean > 0.15 {
+		t.Fatalf("zipf-2 value mean = %v, want a long tail below 0.15", mean)
+	}
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Fatalf("only %v of zipf-2 values ≤ 0.05; most should be tiny", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d,%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(1000, 2)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank(r)
+	}
+}

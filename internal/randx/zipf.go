@@ -1,0 +1,76 @@
+package randx
+
+import "math"
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^s.
+//
+// Table 1 of the paper draws user interest from Zipfian distributions with
+// exponent parameters 1, 2 and 3. Here the sampler is a precomputed inverse
+// CDF: N is small in every workload (interest levels, genre popularity,
+// category ranks), so an O(log N) binary search per sample is both exact and
+// fast, and — unlike math/rand's rejection-based Zipf — fully deterministic
+// for a given RNG stream.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s > 0.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("randx: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	// Guard against floating-point drift: the last entry must be exactly 1
+	// so Rank can never run off the end.
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws a rank in [1, N], rank 1 being the most probable.
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Value draws a Zipf-skewed value in (0, 1]: the most probable rank 1 maps
+// to the smallest value 1/N and the rare rank N maps to 1. This turns Zipf
+// ranks into interest values with the long-tail affinity structure of real
+// event data — most (user, event) interests are tiny, a few are large.
+func (z *Zipf) Value(r *RNG) float64 {
+	return float64(z.Rank(r)) / float64(len(z.cdf))
+}
+
+// Probability returns P(rank = k) for k in [1, N], mainly for tests.
+func (z *Zipf) Probability(k int) float64 {
+	if k < 1 || k > len(z.cdf) {
+		return 0
+	}
+	if k == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[k-1] - z.cdf[k-2]
+}

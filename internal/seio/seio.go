@@ -1,0 +1,185 @@
+// Package seio serializes SES problem instances and schedules as JSON, so
+// the CLI tools can pipe datasets between sesgen (generate), sesrun (solve)
+// and external tooling. The format is versioned and self-describing; the
+// interest matrix covers candidate events first, then competing events, in
+// the same order as core.Instance rows.
+package seio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// FormatVersion is bumped on breaking changes to the JSON layout.
+const FormatVersion = 1
+
+// instanceJSON is the on-disk form of a core.Instance.
+type instanceJSON struct {
+	Version   int             `json:"version"`
+	Theta     float64         `json:"theta"`
+	Events    []eventJSON     `json:"events"`
+	Intervals []intervalJSON  `json:"intervals"`
+	Competing []competingJSON `json:"competing,omitempty"`
+	NumUsers  int             `json:"num_users"`
+	// Interest rows are users × (|E|+|C|); Activity rows users × |T|.
+	Interest [][]float32 `json:"interest"`
+	Activity [][]float32 `json:"activity"`
+}
+
+type eventJSON struct {
+	Name      string  `json:"name,omitempty"`
+	Location  int     `json:"location"`
+	Resources float64 `json:"resources"`
+}
+
+type intervalJSON struct {
+	Name  string `json:"name,omitempty"`
+	Start int64  `json:"start,omitempty"`
+	End   int64  `json:"end,omitempty"`
+}
+
+type competingJSON struct {
+	Name     string `json:"name,omitempty"`
+	Interval int    `json:"interval"`
+	Start    int64  `json:"start,omitempty"`
+	End      int64  `json:"end,omitempty"`
+}
+
+// WriteInstance encodes the instance as JSON.
+func WriteInstance(w io.Writer, inst *core.Instance) error {
+	ij := instanceJSON{
+		Version:  FormatVersion,
+		Theta:    inst.Theta,
+		NumUsers: inst.NumUsers(),
+	}
+	for _, e := range inst.Events {
+		ij.Events = append(ij.Events, eventJSON{Name: e.Name, Location: e.Location, Resources: e.Resources})
+	}
+	for _, t := range inst.Intervals {
+		ij.Intervals = append(ij.Intervals, intervalJSON{Name: t.Name, Start: t.Start, End: t.End})
+	}
+	for _, c := range inst.Competing {
+		ij.Competing = append(ij.Competing, competingJSON{Name: c.Name, Interval: c.Interval, Start: c.Start, End: c.End})
+	}
+	ij.Interest = make([][]float32, inst.NumUsers())
+	ij.Activity = make([][]float32, inst.NumUsers())
+	nI := inst.NumEvents() + inst.NumCompeting()
+	for u := 0; u < inst.NumUsers(); u++ {
+		ij.Interest[u] = make([]float32, nI)
+		inst.CopyInterestRow(u, ij.Interest[u])
+		ij.Activity[u] = make([]float32, inst.NumIntervals())
+		inst.CopyActivityRow(u, ij.Activity[u])
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ij); err != nil {
+		return fmt.Errorf("seio: encode instance: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadInstance decodes an instance from JSON and validates it.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var ij instanceJSON
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&ij); err != nil {
+		return nil, fmt.Errorf("seio: decode instance: %w", err)
+	}
+	if ij.Version != FormatVersion {
+		return nil, fmt.Errorf("seio: unsupported format version %d (want %d)", ij.Version, FormatVersion)
+	}
+	events := make([]core.Event, len(ij.Events))
+	for i, e := range ij.Events {
+		events[i] = core.Event{Name: e.Name, Location: e.Location, Resources: e.Resources}
+	}
+	intervals := make([]core.Interval, len(ij.Intervals))
+	for i, t := range ij.Intervals {
+		intervals[i] = core.Interval{Name: t.Name, Start: t.Start, End: t.End}
+	}
+	competing := make([]core.Competing, len(ij.Competing))
+	for i, c := range ij.Competing {
+		competing[i] = core.Competing{Name: c.Name, Interval: c.Interval, Start: c.Start, End: c.End}
+	}
+	inst, err := core.NewInstance(events, intervals, competing, ij.NumUsers, ij.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("seio: %w", err)
+	}
+	if len(ij.Interest) != ij.NumUsers || len(ij.Activity) != ij.NumUsers {
+		return nil, fmt.Errorf("seio: matrix rows (%d interest, %d activity) do not match %d users",
+			len(ij.Interest), len(ij.Activity), ij.NumUsers)
+	}
+	wantI := len(events) + len(competing)
+	for u := 0; u < ij.NumUsers; u++ {
+		if len(ij.Interest[u]) != wantI {
+			return nil, fmt.Errorf("seio: interest row %d has %d values, want %d", u, len(ij.Interest[u]), wantI)
+		}
+		if len(ij.Activity[u]) != len(intervals) {
+			return nil, fmt.Errorf("seio: activity row %d has %d values, want %d", u, len(ij.Activity[u]), len(intervals))
+		}
+		inst.SetInterestRow(u, ij.Interest[u])
+		inst.SetActivityRow(u, ij.Activity[u])
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("seio: %w", err)
+	}
+	return inst, nil
+}
+
+// scheduleJSON is the on-disk form of a schedule plus its evaluation.
+type scheduleJSON struct {
+	Version     int              `json:"version"`
+	Utility     float64          `json:"utility"`
+	Assignments []assignmentJSON `json:"assignments"`
+}
+
+type assignmentJSON struct {
+	Event     int     `json:"event"`
+	EventName string  `json:"event_name,omitempty"`
+	Interval  int     `json:"interval"`
+	AtName    string  `json:"interval_name,omitempty"`
+	Expected  float64 `json:"expected_attendance"`
+}
+
+// WriteSchedule encodes the schedule with per-event expected attendance.
+func WriteSchedule(w io.Writer, inst *core.Instance, s *core.Schedule) error {
+	sc := core.NewScorer(inst)
+	sj := scheduleJSON{Version: FormatVersion, Utility: sc.Utility(s)}
+	for _, a := range s.Assignments() {
+		sj.Assignments = append(sj.Assignments, assignmentJSON{
+			Event:     a.Event,
+			EventName: inst.Events[a.Event].Name,
+			Interval:  a.Interval,
+			AtName:    inst.Intervals[a.Interval].Name,
+			Expected:  sc.EventAttendance(s, a.Event),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sj); err != nil {
+		return fmt.Errorf("seio: encode schedule: %w", err)
+	}
+	return nil
+}
+
+// ReadSchedule decodes a schedule and replays it onto the instance,
+// re-validating feasibility.
+func ReadSchedule(r io.Reader, inst *core.Instance) (*core.Schedule, error) {
+	var sj scheduleJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("seio: decode schedule: %w", err)
+	}
+	if sj.Version != FormatVersion {
+		return nil, fmt.Errorf("seio: unsupported format version %d", sj.Version)
+	}
+	s := core.NewSchedule(inst)
+	for _, a := range sj.Assignments {
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			return nil, fmt.Errorf("seio: replay assignment e%d→t%d: %w", a.Event, a.Interval, err)
+		}
+	}
+	return s, nil
+}

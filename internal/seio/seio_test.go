@@ -1,0 +1,129 @@
+package seio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	orig, err := dataset.Generate(dataset.DefaultConfig(5, 12, dataset.Zipf2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != orig.NumEvents() || got.NumIntervals() != orig.NumIntervals() ||
+		got.NumCompeting() != orig.NumCompeting() || got.NumUsers() != orig.NumUsers() {
+		t.Fatal("dimensions changed in round trip")
+	}
+	if got.Theta != orig.Theta {
+		t.Fatal("theta changed")
+	}
+	for u := 0; u < orig.NumUsers(); u++ {
+		for e := 0; e < orig.NumEvents(); e++ {
+			if got.Interest(u, e) != orig.Interest(u, e) {
+				t.Fatalf("interest(%d,%d) changed", u, e)
+			}
+		}
+		for c := 0; c < orig.NumCompeting(); c++ {
+			if got.CompetingInterest(u, c) != orig.CompetingInterest(u, c) {
+				t.Fatalf("competing interest(%d,%d) changed", u, c)
+			}
+		}
+		for tv := 0; tv < orig.NumIntervals(); tv++ {
+			if got.Activity(u, tv) != orig.Activity(u, tv) {
+				t.Fatalf("activity(%d,%d) changed", u, tv)
+			}
+		}
+	}
+	for i, e := range orig.Events {
+		if got.Events[i] != e {
+			t.Fatalf("event %d changed: %+v vs %+v", i, got.Events[i], e)
+		}
+	}
+	// The round-tripped instance must produce the identical schedule.
+	ra, err := algo.ALG{}.Schedule(orig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := algo.ALG{}.Schedule(got, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ra.Utility-rb.Utility) > 1e-12 {
+		t.Fatal("round trip changed scheduling behaviour")
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":    "{nope",
+		"bad version": `{"version":99,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`,
+		"row count":   `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"interest":[[0]],"activity":[[0]]}`,
+		"row width":   `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0,1]],"activity":[[0]]}`,
+		"bad value":   `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[7]],"activity":[[0]]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadInstance(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	inst := core.RunningExample()
+	res, err := algo.ALG{}.Schedule(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, inst, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"utility"`, `"event_name": "e4"`, `"expected_attendance"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("schedule JSON missing %q:\n%s", frag, out)
+		}
+	}
+	got, err := ReadSchedule(strings.NewReader(out), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, wa := got.Assignments(), res.Schedule.Assignments()
+	if len(ga) != len(wa) {
+		t.Fatal("assignment count changed")
+	}
+	for i := range wa {
+		if ga[i] != wa[i] {
+			t.Fatalf("assignment %d changed", i)
+		}
+	}
+}
+
+func TestReadScheduleRejectsInfeasible(t *testing.T) {
+	inst := core.RunningExample()
+	// e1 and e2 share Stage 1: same interval is infeasible.
+	payload := `{"version":1,"utility":0,"assignments":[{"event":0,"interval":0},{"event":1,"interval":0}]}`
+	if _, err := ReadSchedule(strings.NewReader(payload), inst); err == nil {
+		t.Error("infeasible schedule accepted")
+	}
+	if _, err := ReadSchedule(strings.NewReader(`{"version":2}`), inst); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := ReadSchedule(strings.NewReader("xx"), inst); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Package sim validates the attendance model by simulation: it executes the
+// Luce-choice process of Section 2.1 user by user and checks that observed
+// attendance converges to the analytic expectations (ρ, ω, Ω) the scheduling
+// algorithms optimize.
+//
+// Per trial, for each user and each interval: the user is socially active
+// with probability σ(u, t); an active user picks one event among the
+// interval's scheduled candidate events and competing events with
+// probability proportional to interest (Luce's choice axiom). Attendance of
+// candidate events is tallied. By construction the per-trial expectation of
+// event e's attendance is exactly ω_e^t (Eq. 2).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// Result aggregates a simulation.
+type Result struct {
+	Trials int
+	// MeanTotal is the average number of candidate-event attendances per
+	// trial — the empirical counterpart of Ω(S).
+	MeanTotal float64
+	// PerEvent maps event index → mean attendance per trial for scheduled
+	// events (the empirical ω_e).
+	PerEvent map[int]float64
+	// CompetingTotal is the average attendance drained by competing
+	// events per trial, reported for diagnostics.
+	CompetingTotal float64
+}
+
+// Simulate runs trials Monte-Carlo repetitions of the attendance process on
+// the schedule and returns the empirical attendance statistics.
+func Simulate(inst *core.Instance, s *core.Schedule, trials int, seed uint64) (*Result, error) {
+	if trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	if s.Instance() != inst {
+		return nil, errors.New("sim: schedule belongs to a different instance")
+	}
+	r := randx.New(seed)
+	nT := inst.NumIntervals()
+
+	// Choice sets per interval: scheduled events then competing events.
+	type option struct {
+		event     int  // candidate event index, or competing index
+		competing bool // true when the option is a competing event
+	}
+	options := make([][]option, nT)
+	for t := 0; t < nT; t++ {
+		for _, e := range s.EventsAt(t) {
+			options[t] = append(options[t], option{event: e})
+		}
+		for _, c := range inst.CompetingAt(t) {
+			options[t] = append(options[t], option{event: c, competing: true})
+		}
+	}
+
+	res := &Result{Trials: trials, PerEvent: make(map[int]float64)}
+	weights := make([]float64, 0, 16)
+	for trial := 0; trial < trials; trial++ {
+		for u := 0; u < inst.NumUsers(); u++ {
+			for t := 0; t < nT; t++ {
+				opts := options[t]
+				if len(opts) == 0 {
+					continue
+				}
+				if r.Float64() >= inst.Activity(u, t) {
+					continue // user not socially active in this slot
+				}
+				weights = weights[:0]
+				total := 0.0
+				for _, o := range opts {
+					var w float64
+					if o.competing {
+						w = inst.CompetingInterest(u, o.event)
+					} else {
+						w = inst.Interest(u, o.event)
+					}
+					total += w
+					weights = append(weights, w)
+				}
+				if total == 0 {
+					continue // nothing appeals; user stays home
+				}
+				pick := r.Float64() * total
+				acc := 0.0
+				for i, w := range weights {
+					acc += w
+					if pick < acc || i == len(weights)-1 {
+						// Guard i == last against float round-off.
+						if w == 0 {
+							break
+						}
+						if opts[i].competing {
+							res.CompetingTotal++
+						} else {
+							res.PerEvent[opts[i].event]++
+							res.MeanTotal++
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	res.MeanTotal /= float64(trials)
+	res.CompetingTotal /= float64(trials)
+	for e := range res.PerEvent {
+		res.PerEvent[e] /= float64(trials)
+	}
+	return res, nil
+}
+
+// Compare runs the simulation and reports the relative error of the
+// empirical total against the analytic Ω(S). It is a convenience for
+// validation harnesses and examples.
+func Compare(inst *core.Instance, s *core.Schedule, trials int, seed uint64) (analytic, simulated, relErr float64, err error) {
+	sc := core.NewScorer(inst)
+	analytic = sc.Utility(s)
+	res, err := Simulate(inst, s, trials, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	simulated = res.MeanTotal
+	if analytic > 0 {
+		relErr = (simulated - analytic) / analytic
+	}
+	return analytic, simulated, relErr, nil
+}
+
+// String formats the result compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf("sim: %d trials, mean attendance %.2f (competing %.2f)", r.Trials, r.MeanTotal, r.CompetingTotal)
+}

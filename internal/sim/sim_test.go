@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestSimulateConvergesOnRunningExample(t *testing.T) {
+	inst := core.RunningExample()
+	res, err := algo.ALG{}.Schedule(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, simulated, relErr, err := Compare(inst, res.Schedule, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(relErr) > 0.01 {
+		t.Errorf("simulated %.4f vs analytic %.4f: relative error %.4f", simulated, analytic, relErr)
+	}
+}
+
+func TestSimulatePerEventMatchesOmega(t *testing.T) {
+	inst := core.RunningExample()
+	s := core.NewSchedule(inst)
+	for _, a := range []core.Assignment{{Event: 3, Interval: 1}, {Event: 0, Interval: 0}, {Event: 1, Interval: 1}} {
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Simulate(inst, s, 300000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.NewScorer(inst)
+	for _, a := range s.Assignments() {
+		want := sc.EventAttendance(s, a.Event)
+		got := res.PerEvent[a.Event]
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("event %d: simulated ω %.4f, analytic %.4f", a.Event, got, want)
+		}
+	}
+}
+
+func TestSimulateOnSyntheticInstance(t *testing.T) {
+	inst, err := dataset.Generate(dataset.DefaultConfig(6, 60, dataset.Zipf2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := algo.HORI{}.Schedule(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, simulated, relErr, err := Compare(inst, res.Schedule, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(relErr) > 0.05 {
+		t.Errorf("simulated %.3f vs analytic %.3f: relative error %.4f", simulated, analytic, relErr)
+	}
+}
+
+func TestSimulateEmptySchedule(t *testing.T) {
+	inst := core.RunningExample()
+	s := core.NewSchedule(inst)
+	res, err := Simulate(inst, s, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanTotal != 0 {
+		t.Errorf("empty schedule has attendance %v", res.MeanTotal)
+	}
+	// Competing events in intervals without scheduled events draw nobody
+	// in the model: a user only faces a choice when the interval hosts at
+	// least one option, and with only competing options the candidate
+	// tally stays zero.
+	if len(res.PerEvent) != 0 {
+		t.Errorf("empty schedule has per-event attendance %v", res.PerEvent)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	inst := core.RunningExample()
+	s := core.NewSchedule(inst)
+	if _, err := Simulate(inst, s, 0, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	other := core.RunningExample()
+	if _, err := Simulate(other, s, 10, 1); err == nil {
+		t.Error("cross-instance schedule accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	inst := core.RunningExample()
+	s := core.NewSchedule(inst)
+	if err := s.Assign(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(inst, s, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(inst, s, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanTotal != b.MeanTotal || a.CompetingTotal != b.CompetingTotal {
+		t.Error("same seed produced different simulations")
+	}
+}
+
+// Attendance conservation: per user and interval, total choices (candidate +
+// competing) cannot exceed activity; aggregated, candidate + competing
+// attendance per trial is at most Σ σ over users and non-empty intervals.
+func TestSimulateConservation(t *testing.T) {
+	inst := core.RunningExample()
+	s := core.NewSchedule(inst)
+	for _, a := range []core.Assignment{{Event: 3, Interval: 1}, {Event: 0, Interval: 0}} {
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Simulate(inst, s, 50000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 0.0
+	for u := 0; u < inst.NumUsers(); u++ {
+		for tv := 0; tv < inst.NumIntervals(); tv++ {
+			cap += inst.Activity(u, tv)
+		}
+	}
+	if total := res.MeanTotal + res.CompetingTotal; total > cap+0.05 {
+		t.Errorf("mean total attendance %.3f exceeds activity capacity %.3f", total, cap)
+	}
+	if res.CompetingTotal <= 0 {
+		t.Error("competing events drew no attendance despite nonzero interest")
+	}
+}

@@ -1,0 +1,176 @@
+// Package textplot renders small ASCII charts so the experiment harness can
+// show figure-shaped output (series per algorithm over a swept parameter)
+// directly in the terminal, next to the exact numbers it prints as tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart: a name (shown in the legend) and one Y
+// value per X position. NaN values are skipped (e.g. an algorithm not
+// defined at a sweep point).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// symbols assigned to series in order.
+var symbols = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series over the shared X labels as a height-row ASCII
+// chart with a legend. Width adapts to the number of X positions.
+func Plot(title string, xlabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	nX := len(xlabels)
+	if nX == 0 || len(series) == 0 {
+		return title + " (no data)\n"
+	}
+	// Y range over all finite values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + " (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Column layout: each X position gets a fixed-width slot.
+	slot := 0
+	for _, l := range xlabels {
+		if len(l) > slot {
+			slot = len(l)
+		}
+	}
+	slot += 2
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", nX*slot))
+	}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for xi := 0; xi < nX && xi < len(s.Y); xi++ {
+			v := s.Y[xi]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			col := xi*slot + slot/2
+			if grid[row][col] == ' ' {
+				grid[row][col] = sym
+			} else {
+				// Collision: nudge right so both marks stay visible.
+				for c := col + 1; c < len(grid[row]); c++ {
+					if grid[row][c] == ' ' {
+						grid[row][c] = sym
+						break
+					}
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	axisW := 11
+	for r, rowBytes := range grid {
+		v := hi - (hi-lo)*float64(r)/float64(height-1)
+		b.WriteString(fmt.Sprintf("%*s |", axisW, formatVal(v)))
+		b.Write(rowBytes)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", axisW+1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", nX*slot))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", axisW+2))
+	for _, l := range xlabels {
+		b.WriteString(center(l, slot))
+	}
+	b.WriteByte('\n')
+	// Legend.
+	b.WriteString(strings.Repeat(" ", axisW+2))
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		b.WriteByte(symbols[si%len(symbols)])
+		b.WriteByte(' ')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// formatVal renders an axis value compactly (SI-style suffixes for large
+// magnitudes, trimmed decimals for small ones).
+func formatVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// Table renders rows as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot("utility vs k",
+		[]string{"50", "100", "200"},
+		[]Series{
+			{Name: "ALG", Y: []float64{1, 2, 3}},
+			{Name: "RAND", Y: []float64{0.5, 0.7, 1.0}},
+		}, 6)
+	for _, frag := range []string{"utility vs k", "ALG", "RAND", "50", "200", "*", "+"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("plot missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 6 grid rows + axis + labels + legend = 10 lines.
+	if len(lines) != 10 {
+		t.Errorf("plot has %d lines, want 10:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotHandlesNaN(t *testing.T) {
+	out := Plot("partial series",
+		[]string{"a", "b"},
+		[]Series{{Name: "X", Y: []float64{math.NaN(), 2}}}, 5)
+	if !strings.Contains(out, "X") {
+		t.Errorf("plot dropped the series:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot("t", nil, nil, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+	out := Plot("t", []string{"x"}, []Series{{Name: "a", Y: []float64{math.NaN()}}}, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("all-NaN plot output: %q", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// A flat series must not divide by zero.
+	out := Plot("flat", []string{"1", "2"}, []Series{{Name: "c", Y: []float64{5, 5}}}, 5)
+	if !strings.Contains(out, "c") {
+		t.Errorf("flat plot broken:\n%s", out)
+	}
+}
+
+func TestPlotCollision(t *testing.T) {
+	// Two series with identical values collide on the same cell; both
+	// symbols must still appear.
+	out := Plot("tie", []string{"1"}, []Series{
+		{Name: "a", Y: []float64{1}},
+		{Name: "b", Y: []float64{1}},
+	}, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("collision lost a symbol:\n%s", out)
+	}
+}
+
+func TestFormatVal(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2.5e9, "2.50G"},
+		{3.2e6, "3.20M"},
+		{4500, "4.5K"},
+		{42, "42"},
+		{0.123, "0.123"},
+		{7, "7"},
+	}
+	for _, c := range cases {
+		if got := formatVal(c.v); got != c.want {
+			t.Errorf("formatVal(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"alg", "time"}, [][]string{
+		{"ALG", "120s"},
+		{"HOR-I", "25s"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "alg") || !strings.Contains(lines[3], "HOR-I") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+	// Columns aligned: "time" starts at the same offset in every row.
+	idx := strings.Index(lines[0], "time")
+	if !strings.HasPrefix(lines[2][idx:], "120s") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := center("ab", 6); got != "  ab  " {
+		t.Errorf("center = %q", got)
+	}
+	if got := center("abcdef", 4); got != "abcd" {
+		t.Errorf("overlong center = %q", got)
+	}
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// The traced ALG must reproduce Figure 2 cell by cell on the running
+// example: initial scores, the update pattern and the three selections.
+func TestALGTraceReproducesFigure2(t *testing.T) {
+	inst := core.RunningExample()
+	tr, err := ALG(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 3 {
+		t.Fatalf("trace has %d steps, want 3", len(tr.Steps))
+	}
+	// Step ①: the initial table (Figure 2 row ①).
+	want := [4][2]float64{
+		{0.590196, 0.530556},
+		{0.518182, 0.573077},
+		{0.100000, 0.087500},
+		{0.642857, 0.656410},
+	}
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			cell := tr.Steps[0].Table[e][tv]
+			if cell.Gone || cell.Infeasible {
+				t.Fatalf("step 1: α(e%d,t%d) marked gone/infeasible", e+1, tv+1)
+			}
+			if math.Abs(cell.Score-want[e][tv]) > 5e-4 {
+				t.Errorf("step 1: α(e%d,t%d) = %.6f, want %.6f", e+1, tv+1, cell.Score, want[e][tv])
+			}
+			if cell.Updated {
+				t.Errorf("step 1: α(e%d,t%d) marked updated in the initial table", e+1, tv+1)
+			}
+		}
+	}
+	if tr.Steps[0].Selected != (core.Assignment{Event: 3, Interval: 1}) {
+		t.Fatalf("step 1 selected %+v, want e4@t2", tr.Steps[0].Selected)
+	}
+	// Step ②: e4's column is gone; t2 scores updated (Figure 2 row ②).
+	st2 := tr.Steps[1]
+	for tv := 0; tv < 2; tv++ {
+		if !st2.Table[3][tv].Gone {
+			t.Errorf("step 2: α(e4,t%d) not marked gone", tv+1)
+		}
+	}
+	for e := 0; e < 3; e++ {
+		if !st2.Table[e][1].Updated {
+			t.Errorf("step 2: α(e%d,t2) not marked updated", e+1)
+		}
+		if st2.Table[e][0].Updated {
+			t.Errorf("step 2: α(e%d,t1) spuriously marked updated", e+1)
+		}
+	}
+	if got := st2.Table[1][1].Score; math.Abs(got-0.160696) > 5e-4 {
+		t.Errorf("step 2: α(e2,t2) = %.6f, want 0.160696", got)
+	}
+	if st2.Selected != (core.Assignment{Event: 0, Interval: 0}) {
+		t.Fatalf("step 2 selected %+v, want e1@t1", st2.Selected)
+	}
+	// Step ③: e2@t1 infeasible (Stage 1 taken), e3@t1 updated to 0.05
+	// (Figure 2 row ③).
+	st3 := tr.Steps[2]
+	if !st3.Table[1][0].Infeasible {
+		t.Error("step 3: α(e2,t1) not marked infeasible")
+	}
+	if got := st3.Table[2][0].Score; math.Abs(got-0.047619) > 5e-4 {
+		t.Errorf("step 3: α(e3,t1) = %.6f, want 0.047619", got)
+	}
+	if !st3.Table[2][0].Updated {
+		t.Error("step 3: α(e3,t1) not marked updated")
+	}
+	if st3.Selected != (core.Assignment{Event: 1, Interval: 1}) {
+		t.Fatalf("step 3 selected %+v, want e2@t2", st3.Selected)
+	}
+}
+
+// The traced executions must match the production algorithms selection for
+// selection on arbitrary instances.
+func TestTraceMatchesProductionAlgorithms(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg := dataset.DefaultConfig(4, 30, dataset.Zipf2, seed)
+		inst, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := algo.ALG{}.Schedule(inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tra, err := ALG(inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tra.Steps) != ra.Schedule.Len() {
+			t.Fatalf("seed %d: ALG trace has %d steps, algorithm made %d selections", seed, len(tra.Steps), ra.Schedule.Len())
+		}
+		for i, a := range ra.Schedule.Assignments() {
+			if tra.Steps[i].Selected != a {
+				t.Fatalf("seed %d: ALG trace step %d selected %+v, algorithm %+v", seed, i, tra.Steps[i].Selected, a)
+			}
+		}
+		rh, err := algo.HOR{}.Schedule(inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trh, err := HOR(inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trh.Steps) != rh.Schedule.Len() {
+			t.Fatalf("seed %d: HOR trace has %d steps, algorithm made %d selections", seed, len(trh.Steps), rh.Schedule.Len())
+		}
+		for i, a := range rh.Schedule.Assignments() {
+			if trh.Steps[i].Selected != a {
+				t.Fatalf("seed %d: HOR trace step %d selected %+v, algorithm %+v", seed, i, trh.Steps[i].Selected, a)
+			}
+		}
+	}
+}
+
+// HOR's trace on the running example reproduces Figure 4: same selections
+// as ALG, with the layer-2 recomputation visible as updated marks.
+func TestHORTraceReproducesFigure4(t *testing.T) {
+	inst := core.RunningExample()
+	tr, err := HOR(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 3 {
+		t.Fatalf("trace has %d steps, want 3", len(tr.Steps))
+	}
+	wantSel := []core.Assignment{{Event: 3, Interval: 1}, {Event: 0, Interval: 0}, {Event: 1, Interval: 1}}
+	for i, w := range wantSel {
+		if tr.Steps[i].Selected != w {
+			t.Fatalf("step %d selected %+v, want %+v", i+1, tr.Steps[i].Selected, w)
+		}
+	}
+	// Step 3 opens layer 2: the three remaining valid assignments carry
+	// updated scores (Figure 4's Update row: 3 updates).
+	updates := 0
+	st3 := tr.Steps[2]
+	for e := 0; e < 4; e++ {
+		for tv := 0; tv < 2; tv++ {
+			c := st3.Table[e][tv]
+			if !c.Gone && !c.Infeasible && c.Updated {
+				updates++
+			}
+		}
+	}
+	if updates != 3 {
+		t.Errorf("layer 2 shows %d updated cells, want 3 (Figure 4)", updates)
+	}
+	if got := st3.Table[1][1].Score; math.Abs(got-0.160696) > 5e-4 {
+		t.Errorf("layer 2: α(e2,t2) = %.6f, want 0.16", got)
+	}
+}
+
+func TestRenderRunningExample(t *testing.T) {
+	inst := core.RunningExample()
+	tr, err := ALG(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render()
+	for _, frag := range []string{
+		"ALG trace (3 selections)",
+		"a(e4,t2)", // header column
+		"[0.66]",   // step-1 selection
+		"0.16*",    // step-3's freshly updated α(e2,t2)
+		"x",        // infeasible α(e2,t1) in step 3
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+3 {
+		t.Errorf("render has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTraceBadK(t *testing.T) {
+	inst := core.RunningExample()
+	if _, err := ALG(inst, 0); err == nil {
+		t.Error("ALG trace accepted k=0")
+	}
+	if _, err := HOR(inst, -1); err == nil {
+		t.Error("HOR trace accepted k<0")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	tr := &Trace{Algorithm: "ALG"}
+	if !strings.Contains(tr.Render(), "no selections") {
+		t.Error("empty trace render malformed")
+	}
+}

@@ -1,0 +1,201 @@
+package ses
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSolveRunningExample(t *testing.T) {
+	inst := RunningExample()
+	for _, a := range []Algorithm{ALG, INC, HOR, HORI} {
+		res, err := Solve(inst, 3, a)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if math.Abs(res.Utility-1.407302) > 5e-4 {
+			t.Errorf("%s: utility %.6f, want 1.407302", a, res.Utility)
+		}
+		if res.Schedule.Len() != 3 {
+			t.Errorf("%s: %d assignments, want 3", a, res.Schedule.Len())
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(RunningExample(), 1, Algorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmsOrder(t *testing.T) {
+	want := []Algorithm{ALG, INC, HOR, HORI, TOP, RAND}
+	got := Algorithms()
+	if len(got) != len(want) {
+		t.Fatalf("Algorithms() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Algorithms()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewSchedulerNames(t *testing.T) {
+	for _, a := range Algorithms() {
+		s, err := NewScheduler(a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != string(a) {
+			t.Errorf("scheduler for %v reports name %q", a, s.Name())
+		}
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	inst, err := GenerateSynthetic(DefaultSyntheticConfig(6, 20, Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(inst, 6, HORI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Len() != 6 {
+		t.Errorf("scheduled %d events, want 6", res.Schedule.Len())
+	}
+}
+
+func TestGenerateMeetupAndConcerts(t *testing.T) {
+	m, err := GenerateMeetup(DefaultMeetupConfig(4, 15, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := GenerateConcerts(DefaultConcertsConfig(4, 15, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range []*Instance{m, c} {
+		if _, err := Solve(inst, 4, INC); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	inst := RunningExample()
+	res, err := Solve(inst, 3, ALG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Summarize(inst, res.Schedule)
+	if math.Abs(rep.Utility-res.Utility) > 1e-9 {
+		t.Errorf("report utility %v, result utility %v", rep.Utility, res.Utility)
+	}
+	if len(rep.Events) != 3 {
+		t.Fatalf("report has %d events", len(rep.Events))
+	}
+	sum := 0.0
+	for _, e := range rep.Events {
+		sum += e.Expected
+	}
+	if math.Abs(sum-rep.Utility) > 1e-9 {
+		t.Errorf("per-event attendances sum to %v, utility is %v", sum, rep.Utility)
+	}
+	s := rep.String()
+	for _, frag := range []string{"e4", "t2", "Ω"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report string missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestManualScheduleViaFacade(t *testing.T) {
+	inst := RunningExample()
+	s := NewSchedule(inst)
+	if err := s.Assign(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScorer(inst)
+	if u := sc.Utility(s); math.Abs(u-0.656410) > 5e-4 {
+		t.Errorf("manual schedule utility %v, want 0.656410", u)
+	}
+}
+
+func TestSolveWithOptionsProfit(t *testing.T) {
+	inst := RunningExample()
+	plain, err := Solve(inst, 3, ALG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveWithOptions(inst, 3, ALG, ScorerOptions{
+		EventCost: []float64{0.1, 0.1, 0.1, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.Utility - 0.3 // same schedule, three events at 0.1 each
+	if math.Abs(res.Utility-want) > 1e-6 {
+		t.Errorf("profit utility = %v, want %v", res.Utility, want)
+	}
+	if _, err := SolveWithOptions(inst, 3, ALG, ScorerOptions{EventCost: []float64{1}}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestSolveWithOptionsWeights(t *testing.T) {
+	inst := RunningExample()
+	// Count only user 0: all algorithms should optimize for u1 alone.
+	res, err := SolveWithOptions(inst, 1, ALG, ScorerOptions{UserWeights: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1's best single assignment is e1@t1 (0.8·0.9/1.7 = 0.4235), beating
+	// e4@t2 (0.3333) that the unweighted greedy picks first.
+	a := res.Schedule.Assignments()[0]
+	if a.Event != 0 || a.Interval != 0 {
+		t.Errorf("weighted greedy picked %+v, want e1@t1", a)
+	}
+}
+
+func TestExtendFacade(t *testing.T) {
+	inst := RunningExample()
+	base := NewSchedule(inst)
+	if err := base.Assign(3, 1); err != nil { // e4 @ t2, greedy's own first pick
+		t.Fatal(err)
+	}
+	res, err := Extend(inst, base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Solve(inst, 3, ALG)
+	if math.Abs(res.Utility-full.Utility) > 1e-9 {
+		t.Errorf("extended utility %v, ALG %v", res.Utility, full.Utility)
+	}
+	if base.Len() != 1 {
+		t.Error("base schedule mutated")
+	}
+}
+
+func TestExtendWithOptionsConsistentObjective(t *testing.T) {
+	inst := RunningExample()
+	costs := []float64{0.1, 0.1, 0.1, 0.1}
+	opts := ScorerOptions{EventCost: costs}
+	full, err := SolveWithOptions(inst, 3, ALG, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewSchedule(inst)
+	first := full.Schedule.Assignments()[0]
+	if err := base.Assign(first.Event, first.Interval); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtendWithOptions(inst, base, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ext.Utility-full.Utility) > 1e-9 {
+		t.Errorf("extended profit %v, full profit %v", ext.Utility, full.Utility)
+	}
+}
