@@ -1,0 +1,34 @@
+// Command sesd serves SES instances and scheduling queries over HTTP/JSON:
+// upload an instance once, then answer many solve / extend / what-if queries
+// against it. See the README for a curl walkthrough.
+//
+// Endpoints:
+//
+//	PUT    /instances/{name}            upload an instance (sesgen JSON)
+//	GET    /instances/{name}            download the current version
+//	DELETE /instances/{name}            remove it
+//	PATCH  /instances/{name}            mutate interest/activity/competing (bumps version)
+//	GET    /instances                   list stored instances
+//	POST   /instances/{name}/solve      run ALG|INC|HOR|HOR-I|TOP|RAND
+//	POST   /instances/{name}/extend     grow an existing schedule greedily
+//	POST   /instances/{name}/simulate   Monte-Carlo check a schedule
+//	POST   /instances/{name}/summarize  render the organizer report
+//	GET    /healthz, GET /stats         liveness and service counters
+//
+// Example:
+//
+//	sesgen -k 10 -users 2000 -o fest.json
+//	sesd -addr :8080 &
+//	curl -X PUT --data-binary @fest.json localhost:8080/instances/fest
+//	curl -X POST -d '{"algorithm":"HOR-I","k":10}' localhost:8080/instances/fest/solve
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sesd(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		algos    = fs.String("algos", "", "comma-separated algorithm filter (ALG,INC,HOR,HOR-I,TOP,RAND)")
 		metric   = fs.String("metric", "", "render a single metric (utility|computations|time|examined); default: the figure's metrics")
 		csvPath  = fs.String("csv", "", "write raw result rows to this CSV file")
+		jsonOut  = fs.Bool("json", false, "write raw results as JSON to stdout instead of tables/plots")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		plot     = fs.Bool("plot", true, "render ASCII plots alongside tables")
 		verbose  = fs.Bool("v", false, "log every measurement as it completes")
@@ -58,6 +60,11 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, "sesbench", err)
 		}
+		if *jsonOut {
+			return encodeJSON(stdout, stderr, struct {
+				Points []exp.StackingPoint `json:"points"`
+			}{pts})
+		}
 		fmt.Fprintln(stdout, "HOR vs ALG utility gap vs competing-interest scale (see EXPERIMENTS.md):")
 		fmt.Fprintf(stdout, "%8s %10s %22s\n", "scale", "gap", "ALG stacked intervals")
 		for _, p := range pts {
@@ -68,6 +75,14 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		st, rows, err := exp.Summary(o, *trials)
 		if err != nil {
 			return fail(stderr, "sesbench", err)
+		}
+		if *jsonOut {
+			if code := encodeJSON(stdout, stderr, struct {
+				Summary exp.SummaryStats `json:"summary"`
+			}{st}); code != 0 {
+				return code
+			}
+			return writeCSV(stderr, *csvPath, rows)
 		}
 		runs := st.Runs
 		if runs == 0 {
@@ -96,9 +111,18 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "sesbench", err)
 		}
 		all = append(all, rows...)
+		if *jsonOut {
+			continue
+		}
 		if code := render(stdout, stderr, rows, id, *metric, *plot); code != 0 {
 			return code
 		}
+	}
+	if *jsonOut {
+		if err := exp.WriteJSON(stdout, all); err != nil {
+			return fail(stderr, "sesbench", err)
+		}
+		return writeCSV(stderr, *csvPath, all)
 	}
 	if s := exp.RenderSpeedups(all); s != "" {
 		fmt.Fprint(stdout, s)
@@ -139,6 +163,16 @@ func render(stdout, stderr io.Writer, rows []exp.Row, id, metric string, plot bo
 			}
 			fmt.Fprint(stdout, p)
 		}
+	}
+	return 0
+}
+
+// encodeJSON writes v as indented JSON to stdout.
+func encodeJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fail(stderr, "sesbench", err)
 	}
 	return 0
 }

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Sesd runs the SES solver service until SIGINT/SIGTERM, then drains
+// in-flight work and exits cleanly.
+func Sesd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sesd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
+		cache   = fs.Int("cache", 256, "result cache capacity (entries)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	srv := server.New(server.Config{Workers: *workers, Queue: *queue, CacheSize: *cache})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, "sesd", err)
+	}
+	// ReadHeaderTimeout bounds slowloris-style header trickling;
+	// IdleTimeout reclaims abandoned keep-alive connections. No
+	// ReadTimeout: large instance uploads over slow links are legitimate.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "sesd listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return fail(stderr, "sesd", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "sesd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fail(stderr, "sesd", err)
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSesbenchJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Sesbench([]string{"-fig", "10b", "-scale", "tiny", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var doc struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Rows) == 0 {
+		t.Fatal("no rows in JSON output")
+	}
+	for _, key := range []string{"figure", "algorithm", "elapsed_ms", "examined"} {
+		if _, ok := doc.Rows[0][key]; !ok {
+			t.Errorf("row missing %q: %v", key, doc.Rows[0])
+		}
+	}
+	if strings.Contains(out.String(), "Figure") {
+		t.Error("-json output still contains rendered tables")
+	}
+
+	out.Reset()
+	if code := Sesbench([]string{"-fig", "summary", "-scale", "tiny", "-trials", "1", "-datasets", "Unf", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("summary -json exit %d: %s", code, errb.String())
+	}
+	var sum struct {
+		Summary map[string]any `json:"summary"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(sum.Summary) == 0 {
+		t.Error("empty summary document")
+	}
+}
+
+func TestSesdFlagAndListenErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Sesd([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := Sesd([]string{"-addr", "256.256.256.256:0"}, &out, &errb); code != 1 {
+		t.Errorf("unlistenable addr: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "sesd") {
+		t.Errorf("listen error not reported: %s", errb.String())
+	}
+}

@@ -86,6 +86,11 @@ type Instance struct {
 	// activity holds |T| columns of numUsers values each:
 	// activity[t*numUsers + u] is σ(u, t).
 	activity []float32
+
+	// sharedInterest / sharedActivity mark the matrices as shared with a
+	// copy-on-write Snapshot; the next mutation copies before writing.
+	sharedInterest bool
+	sharedActivity bool
 }
 
 // NewInstance allocates an instance with zeroed interest and activity
@@ -166,18 +171,22 @@ func (in *Instance) Activity(user, interval int) float64 {
 
 // SetInterest sets µ(u, e) for candidate event e. Values outside [0,1] are an
 // instance-construction bug and are rejected by Validate, not here, to keep
-// the hot generator path branch-free.
+// the hot generator path cheap (the only per-call check is the predictable
+// copy-on-write ownership test).
 func (in *Instance) SetInterest(user, event int, v float64) {
+	in.ownInterest()
 	in.interest[event*in.numUsers+user] = float32(v)
 }
 
 // SetCompetingInterest sets µ(u, c) for competing event c.
 func (in *Instance) SetCompetingInterest(user, comp int, v float64) {
+	in.ownInterest()
 	in.interest[(len(in.Events)+comp)*in.numUsers+user] = float32(v)
 }
 
 // SetActivity sets σ(u, t).
 func (in *Instance) SetActivity(user, interval int, v float64) {
+	in.ownActivity()
 	in.activity[interval*in.numUsers+user] = float32(v)
 }
 
@@ -189,6 +198,7 @@ func (in *Instance) SetInterestRow(user int, row []float32) {
 	if len(row) != len(in.Events)+len(in.Competing) {
 		panic(fmt.Sprintf("core: interest row has %d values, want %d", len(row), len(in.Events)+len(in.Competing)))
 	}
+	in.ownInterest()
 	for h, v := range row {
 		in.interest[h*in.numUsers+user] = v
 	}
@@ -199,6 +209,7 @@ func (in *Instance) SetActivityRow(user int, row []float32) {
 	if len(row) != len(in.Intervals) {
 		panic(fmt.Sprintf("core: activity row has %d values, want %d", len(row), len(in.Intervals)))
 	}
+	in.ownActivity()
 	for t, v := range row {
 		in.activity[t*in.numUsers+user] = v
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Digest returns a hex SHA-256 content digest of the instance: the problem
+// parameters (θ, |U|), the event/interval/competing metadata and both
+// matrices. Two instances with the same digest describe the same SES problem,
+// so the digest is a safe cache key for solver results and a cheap equality
+// check for deduplicating uploads. Names participate (they appear in
+// reports), as does ordering — the digest identifies the instance as given,
+// not an isomorphism class.
+func (in *Instance) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wInt(int64(math.Float64bits(v))) }
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wStr("ses-instance-v1")
+	wF64(in.Theta)
+	wInt(int64(in.numUsers))
+	wInt(int64(len(in.Events)))
+	for _, e := range in.Events {
+		wStr(e.Name)
+		wInt(int64(e.Location))
+		wF64(e.Resources)
+	}
+	wInt(int64(len(in.Intervals)))
+	for _, t := range in.Intervals {
+		wStr(t.Name)
+		wInt(t.Start)
+		wInt(t.End)
+	}
+	wInt(int64(len(in.Competing)))
+	for _, c := range in.Competing {
+		wStr(c.Name)
+		wInt(int64(c.Interval))
+		wInt(c.Start)
+		wInt(c.End)
+	}
+	writeFloat32s(h, in.interest)
+	writeFloat32s(h, in.activity)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFloat32s streams a float32 slice into the hash in little-endian bit
+// representation, batching through a fixed buffer to avoid per-value Write
+// calls on million-user matrices.
+func writeFloat32s(h hash.Hash, vals []float32) {
+	var buf [4096]byte
+	n := 0
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(v))
+		n += 4
+		if n == len(buf) {
+			h.Write(buf[:])
+			n = 0
+		}
+	}
+	if n > 0 {
+		h.Write(buf[:n])
+	}
+}

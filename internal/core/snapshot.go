@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// Copy-on-write snapshots.
+//
+// A Snapshot is an O(1) frozen view of an instance: it shares the interest
+// and activity matrices with the original until either side mutates them, at
+// which point the mutating side copies the matrix it is about to write
+// (matrix-granularity copy-on-write). This is the concurrency contract the
+// server's versioned instance store is built on: in-flight solves keep
+// reading the snapshot they started with while the store publishes a mutated
+// successor version — the same read-your-snapshot idiom persistent stores
+// like ebakusdb use for safe concurrent reads during transactions.
+//
+// Snapshot and the mutating accessors must be externally serialized with
+// each other (the store holds a lock across them). Concurrent *readers* of
+// already-published snapshots need no synchronization: a published snapshot's
+// matrices are never written again — any later mutation writes to a fresh
+// copy owned by the successor.
+
+// Snapshot returns an O(1) copy-on-write snapshot of the instance. Both the
+// receiver and the snapshot keep sharing the matrices; the first mutation on
+// either side copies the affected matrix, so neither can observe the other's
+// subsequent writes. Metadata slices (Events, Intervals, Competing) share
+// backing arrays too; mutators that change them (AddCompeting) copy first.
+func (in *Instance) Snapshot() *Instance {
+	in.sharedInterest = true
+	in.sharedActivity = true
+	cp := *in
+	return &cp
+}
+
+// ownInterest makes the interest matrix exclusively owned, copying it if it
+// is still shared with a snapshot.
+func (in *Instance) ownInterest() {
+	if in.sharedInterest {
+		in.interest = append([]float32(nil), in.interest...)
+		in.sharedInterest = false
+	}
+}
+
+// ownActivity makes the activity matrix exclusively owned.
+func (in *Instance) ownActivity() {
+	if in.sharedActivity {
+		in.activity = append([]float32(nil), in.activity...)
+		in.sharedActivity = false
+	}
+}
+
+// AddCompeting appends a competing event together with the per-user interest
+// column µ(·, c) (length |U|, values in [0, 1]). The interest matrix grows by
+// one column; the metadata slice and the matrix are copied, never mutated in
+// place, so existing snapshots are unaffected. It is the mutation behind the
+// server's "a third-party event just got announced" what-if updates.
+func (in *Instance) AddCompeting(c Competing, interest []float32) error {
+	if c.Interval < 0 || c.Interval >= len(in.Intervals) {
+		return fmt.Errorf("core: competing event references interval %d, have %d intervals", c.Interval, len(in.Intervals))
+	}
+	if len(interest) != in.numUsers {
+		return fmt.Errorf("core: competing interest column has %d values, want %d users", len(interest), in.numUsers)
+	}
+	for u, v := range interest {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("core: competing interest value %v for user %d out of [0,1]", v, u)
+		}
+	}
+	grown := make([]float32, 0, len(in.interest)+in.numUsers)
+	grown = append(grown, in.interest...)
+	grown = append(grown, interest...)
+	in.interest = grown
+	in.sharedInterest = false
+	in.Competing = append(append([]Competing(nil), in.Competing...), c)
+	return nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func snapTestInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := NewInstance(
+		[]Event{{Name: "a", Location: 0, Resources: 1}, {Name: "b", Location: 1, Resources: 1}},
+		[]Interval{{Name: "t0"}, {Name: "t1"}},
+		[]Competing{{Name: "c0", Interval: 0}},
+		3, 2,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		inst.SetInterest(u, 0, 0.5)
+		inst.SetInterest(u, 1, 0.25)
+		inst.SetCompetingInterest(u, 0, 0.125)
+		inst.SetActivity(u, 0, 1)
+		inst.SetActivity(u, 1, 0.5)
+	}
+	return inst
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	inst := snapTestInstance(t)
+	snap := inst.Snapshot()
+
+	// Mutating the original must not be visible through the snapshot.
+	inst.SetInterest(0, 0, 0.9)
+	inst.SetActivity(0, 0, 0.1)
+	inst.SetCompetingInterest(0, 0, 0.7)
+	if got := snap.Interest(0, 0); got != 0.5 {
+		t.Errorf("snapshot interest mutated: got %v, want 0.5", got)
+	}
+	if got := snap.Activity(0, 0); got != 1.0 {
+		t.Errorf("snapshot activity mutated: got %v, want 1", got)
+	}
+	if got := snap.CompetingInterest(0, 0); got != 0.125 {
+		t.Errorf("snapshot competing interest mutated: got %v, want 0.125", got)
+	}
+	if got := inst.Interest(0, 0); got != float64(float32(0.9)) {
+		t.Errorf("original lost its write: got %v, want 0.9", got)
+	}
+
+	// And the other direction: writes through a snapshot stay private.
+	snap2 := inst.Snapshot()
+	snap2.SetInterest(1, 1, 1)
+	if got := inst.Interest(1, 1); got != 0.25 {
+		t.Errorf("snapshot write leaked into original: got %v, want 0.25", got)
+	}
+}
+
+func TestSnapshotRowMutators(t *testing.T) {
+	inst := snapTestInstance(t)
+	snap := inst.Snapshot()
+	inst.SetInterestRow(2, []float32{1, 1, 1})
+	inst.SetActivityRow(2, []float32{0, 0})
+	if snap.Interest(2, 0) != 0.5 || snap.Activity(2, 0) != 1.0 {
+		t.Error("row mutators leaked into snapshot")
+	}
+}
+
+func TestAddCompetingCopies(t *testing.T) {
+	inst := snapTestInstance(t)
+	snap := inst.Snapshot()
+	if err := inst.AddCompeting(Competing{Name: "c1", Interval: 1}, []float32{0.2, 0.2, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumCompeting() != 2 || snap.NumCompeting() != 1 {
+		t.Fatalf("competing counts: inst %d (want 2), snap %d (want 1)", inst.NumCompeting(), snap.NumCompeting())
+	}
+	if got := inst.CompetingInterest(0, 1); got != float64(float32(0.2)) {
+		t.Errorf("new competing interest: got %v", got)
+	}
+	if got := snap.CompetingInterest(0, 0); got != 0.125 {
+		t.Errorf("snapshot competing interest changed: got %v", got)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("grown instance invalid: %v", err)
+	}
+
+	// Error paths.
+	if err := inst.AddCompeting(Competing{Interval: 99}, []float32{0, 0, 0}); err == nil {
+		t.Error("out-of-range interval accepted")
+	}
+	if err := inst.AddCompeting(Competing{Interval: 0}, []float32{0}); err == nil {
+		t.Error("short interest column accepted")
+	}
+	if err := inst.AddCompeting(Competing{Interval: 0}, []float32{2, 0, 0}); err == nil {
+		t.Error("out-of-range interest value accepted")
+	}
+}
+
+// TestSnapshotConcurrentReaders exercises the store's concurrency contract
+// under -race: readers score against published snapshots while a writer
+// produces successor versions through Snapshot + mutate.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	inst := snapTestInstance(t)
+	var wg sync.WaitGroup
+	cur := inst
+	for i := 0; i < 20; i++ {
+		snap := cur.Snapshot()
+		wg.Add(1)
+		go func(v *Instance, want float64) {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				if got := v.Interest(0, 0); got != want {
+					t.Errorf("snapshot drifted: got %v, want %v", got, want)
+					return
+				}
+			}
+		}(snap, snap.Interest(0, 0))
+		next := cur.Snapshot()
+		next.SetInterest(0, 0, float64(i)/20)
+		cur = next
+	}
+	wg.Wait()
+}
+
+func TestDigest(t *testing.T) {
+	a := snapTestInstance(t)
+	b := snapTestInstance(t)
+	if a.Digest() != b.Digest() {
+		t.Error("identical instances digest differently")
+	}
+	snap := a.Snapshot()
+	if snap.Digest() != b.Digest() {
+		t.Error("snapshot digest differs from its source")
+	}
+	b.SetInterest(0, 0, 0.51)
+	if a.Digest() == b.Digest() {
+		t.Error("interest mutation did not change the digest")
+	}
+	c := snapTestInstance(t)
+	c.SetActivity(2, 1, 0.75)
+	if a.Digest() == c.Digest() {
+		t.Error("activity mutation did not change the digest")
+	}
+	d := snapTestInstance(t)
+	d.Events[0].Name = "renamed"
+	if a.Digest() == d.Digest() {
+		t.Error("metadata change did not change the digest")
+	}
+}

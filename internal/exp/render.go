@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/seio"
 	"repro/internal/textplot"
 )
 
@@ -180,7 +182,7 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatInt(r.ScoreEvals, 10),
 			strconv.FormatInt(r.Computations, 10),
 			strconv.FormatInt(r.Examined, 10),
-			strconv.FormatFloat(float64(r.Elapsed.Microseconds())/1000, 'f', 3, 64),
+			strconv.FormatFloat(seio.DurationMS(r.Elapsed), 'f', 3, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -192,3 +194,53 @@ func WriteCSV(w io.Writer, rows []Row) error {
 
 // ReadCSVHeader exposes the header for tests and external tooling.
 func ReadCSVHeader() []string { return append([]string(nil), csvHeader...) }
+
+// rowJSON is the stable JSON shape of one measurement (sesbench -json).
+// Elapsed is flattened to milliseconds so records do not depend on Go's
+// time.Duration encoding.
+type rowJSON struct {
+	Figure       string  `json:"figure"`
+	Dataset      string  `json:"dataset"`
+	Algorithm    string  `json:"algorithm"`
+	XName        string  `json:"xname"`
+	X            int     `json:"x"`
+	K            int     `json:"k"`
+	Events       int     `json:"events"`
+	Intervals    int     `json:"intervals"`
+	Users        int     `json:"users"`
+	Utility      float64 `json:"utility"`
+	ScoreEvals   int64   `json:"score_evals"`
+	Computations int64   `json:"computations"`
+	Examined     int64   `json:"examined"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// WriteJSON writes rows as a JSON document {"rows": [...]}: the
+// machine-readable sesbench output used to record performance trajectories
+// across changes.
+func WriteJSON(w io.Writer, rows []Row) error {
+	out := struct {
+		Rows []rowJSON `json:"rows"`
+	}{Rows: make([]rowJSON, 0, len(rows))}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, rowJSON{
+			Figure:       r.Figure,
+			Dataset:      r.Dataset,
+			Algorithm:    r.Algorithm,
+			XName:        r.XName,
+			X:            r.X,
+			K:            r.K,
+			Events:       r.Events,
+			Intervals:    r.Intervals,
+			Users:        r.Users,
+			Utility:      r.Utility,
+			ScoreEvals:   r.ScoreEvals,
+			Computations: r.Computations,
+			Examined:     r.Examined,
+			ElapsedMS:    seio.DurationMS(r.Elapsed),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

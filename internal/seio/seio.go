@@ -17,6 +17,20 @@ import (
 // FormatVersion is bumped on breaking changes to the JSON layout.
 const FormatVersion = 1
 
+// checkVersion validates a document's format version, distinguishing files
+// produced by a newer build (actionable: upgrade the reader) from garbage or
+// missing versions.
+func checkVersion(kind string, v int) error {
+	switch {
+	case v == FormatVersion:
+		return nil
+	case v > FormatVersion:
+		return fmt.Errorf("seio: %s format version %d is newer than this build supports (max %d); upgrade the tools", kind, v, FormatVersion)
+	default:
+		return fmt.Errorf("seio: unsupported %s format version %d (want %d)", kind, v, FormatVersion)
+	}
+}
+
 // instanceJSON is the on-disk form of a core.Instance.
 type instanceJSON struct {
 	Version   int             `json:"version"`
@@ -89,8 +103,8 @@ func ReadInstance(r io.Reader) (*core.Instance, error) {
 	if err := dec.Decode(&ij); err != nil {
 		return nil, fmt.Errorf("seio: decode instance: %w", err)
 	}
-	if ij.Version != FormatVersion {
-		return nil, fmt.Errorf("seio: unsupported format version %d (want %d)", ij.Version, FormatVersion)
+	if err := checkVersion("instance", ij.Version); err != nil {
+		return nil, err
 	}
 	events := make([]core.Event, len(ij.Events))
 	for i, e := range ij.Events {
@@ -129,14 +143,17 @@ func ReadInstance(r io.Reader) (*core.Instance, error) {
 	return inst, nil
 }
 
-// scheduleJSON is the on-disk form of a schedule plus its evaluation.
-type scheduleJSON struct {
-	Version     int              `json:"version"`
-	Utility     float64          `json:"utility"`
-	Assignments []assignmentJSON `json:"assignments"`
+// ScheduleMsg is the wire form of a schedule plus its evaluation. It is both
+// the on-disk schedule document of the CLI pipelines and the schedule payload
+// of the sesd HTTP API.
+type ScheduleMsg struct {
+	Version     int             `json:"version"`
+	Utility     float64         `json:"utility"`
+	Assignments []AssignmentMsg `json:"assignments"`
 }
 
-type assignmentJSON struct {
+// AssignmentMsg is one event→interval assignment with its evaluation.
+type AssignmentMsg struct {
 	Event     int     `json:"event"`
 	EventName string  `json:"event_name,omitempty"`
 	Interval  int     `json:"interval"`
@@ -144,12 +161,13 @@ type assignmentJSON struct {
 	Expected  float64 `json:"expected_attendance"`
 }
 
-// WriteSchedule encodes the schedule with per-event expected attendance.
-func WriteSchedule(w io.Writer, inst *core.Instance, s *core.Schedule) error {
+// NewScheduleMsg evaluates the schedule and builds its wire message: total
+// utility plus per-assignment names and expected attendance.
+func NewScheduleMsg(inst *core.Instance, s *core.Schedule) ScheduleMsg {
 	sc := core.NewScorer(inst)
-	sj := scheduleJSON{Version: FormatVersion, Utility: sc.Utility(s)}
+	sj := ScheduleMsg{Version: FormatVersion, Utility: sc.Utility(s)}
 	for _, a := range s.Assignments() {
-		sj.Assignments = append(sj.Assignments, assignmentJSON{
+		sj.Assignments = append(sj.Assignments, AssignmentMsg{
 			Event:     a.Event,
 			EventName: inst.Events[a.Event].Name,
 			Interval:  a.Interval,
@@ -157,9 +175,26 @@ func WriteSchedule(w io.Writer, inst *core.Instance, s *core.Schedule) error {
 			Expected:  sc.EventAttendance(s, a.Event),
 		})
 	}
+	return sj
+}
+
+// Replay rebuilds the schedule on the instance, re-validating feasibility
+// assignment by assignment.
+func (m ScheduleMsg) Replay(inst *core.Instance) (*core.Schedule, error) {
+	s := core.NewSchedule(inst)
+	for _, a := range m.Assignments {
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			return nil, fmt.Errorf("seio: replay assignment e%d→t%d: %w", a.Event, a.Interval, err)
+		}
+	}
+	return s, nil
+}
+
+// WriteSchedule encodes the schedule with per-event expected attendance.
+func WriteSchedule(w io.Writer, inst *core.Instance, s *core.Schedule) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(sj); err != nil {
+	if err := enc.Encode(NewScheduleMsg(inst, s)); err != nil {
 		return fmt.Errorf("seio: encode schedule: %w", err)
 	}
 	return nil
@@ -168,18 +203,12 @@ func WriteSchedule(w io.Writer, inst *core.Instance, s *core.Schedule) error {
 // ReadSchedule decodes a schedule and replays it onto the instance,
 // re-validating feasibility.
 func ReadSchedule(r io.Reader, inst *core.Instance) (*core.Schedule, error) {
-	var sj scheduleJSON
+	var sj ScheduleMsg
 	if err := json.NewDecoder(r).Decode(&sj); err != nil {
 		return nil, fmt.Errorf("seio: decode schedule: %w", err)
 	}
-	if sj.Version != FormatVersion {
-		return nil, fmt.Errorf("seio: unsupported format version %d", sj.Version)
+	if err := checkVersion("schedule", sj.Version); err != nil {
+		return nil, err
 	}
-	s := core.NewSchedule(inst)
-	for _, a := range sj.Assignments {
-		if err := s.Assign(a.Event, a.Interval); err != nil {
-			return nil, fmt.Errorf("seio: replay assignment e%d→t%d: %w", a.Event, a.Interval, err)
-		}
-	}
-	return s, nil
+	return sj.Replay(inst)
 }

@@ -1,0 +1,143 @@
+package seio
+
+import "time"
+
+// DurationMS flattens a duration to fractional milliseconds — the one
+// encoding of elapsed time shared by the HTTP responses and the sesbench
+// -json records, so the two cannot drift apart.
+func DurationMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// HTTP wire messages of the sesd solver service (internal/server). They live
+// here, next to the instance/schedule formats, so the body shapes of the
+// batch pipelines and the online service stay one vocabulary: an uploaded
+// instance is exactly a sesgen document, a returned schedule is exactly a
+// sesrun document.
+
+// InstanceInfo is the store's metadata view of an instance: returned by
+// instance CRUD calls and the instance listing, and echoed in every solver
+// response so clients can detect version skew.
+type InstanceInfo struct {
+	Name      string  `json:"name"`
+	Version   uint64  `json:"store_version"`
+	Digest    string  `json:"digest"`
+	Events    int     `json:"events"`
+	Intervals int     `json:"intervals"`
+	Competing int     `json:"competing"`
+	Users     int     `json:"users"`
+	Theta     float64 `json:"theta"`
+}
+
+// SolveRequest is the body of POST /instances/{name}/solve.
+type SolveRequest struct {
+	// Algorithm is one of ALG, INC, HOR, HOR-I, TOP, RAND; empty selects
+	// HOR-I (the paper's fastest method).
+	Algorithm string `json:"algorithm,omitempty"`
+	// K is the number of events to schedule.
+	K int `json:"k"`
+	// Seed only affects RAND.
+	Seed uint64 `json:"seed,omitempty"`
+	// UserWeights / EventCosts enable the Section 2.1 problem extensions
+	// (influence-weighted attendance, profit-oriented costs).
+	UserWeights []float64 `json:"user_weights,omitempty"`
+	EventCosts  []float64 `json:"event_costs,omitempty"`
+}
+
+// SolveResponse is the body returned by solve and extend.
+type SolveResponse struct {
+	Instance  InstanceInfo `json:"instance"`
+	Algorithm string       `json:"algorithm"`
+	K         int          `json:"k"`
+	Schedule  ScheduleMsg  `json:"schedule"`
+	// ScoreEvals and Examined are the paper's work counters of the run
+	// that produced the schedule; a cached response repeats the original
+	// run's counters with Cached set (no new scorer work happened).
+	ScoreEvals int64   `json:"score_evals"`
+	Examined   int64   `json:"examined"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Cached reports that the response came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// ExtendRequest is the body of POST /instances/{name}/extend: grow Base by
+// Extra more greedy selections without disturbing it.
+type ExtendRequest struct {
+	// Base lists the existing assignments; an empty base extends from
+	// scratch (exactly ALG).
+	Base []AssignmentMsg `json:"base,omitempty"`
+	// Extra is the number of additional events to schedule.
+	Extra       int       `json:"extra"`
+	UserWeights []float64 `json:"user_weights,omitempty"`
+	EventCosts  []float64 `json:"event_costs,omitempty"`
+}
+
+// CellUpdate sets one matrix cell: interest (Index = candidate event),
+// competing interest (Index = competing event) or activity (Index =
+// interval), depending on which MutateRequest list carries it.
+type CellUpdate struct {
+	User  int     `json:"user"`
+	Index int     `json:"index"`
+	Value float64 `json:"value"`
+}
+
+// NewCompeting announces a third-party event: it is appended to the
+// instance's competing set with the given per-user interest column.
+type NewCompeting struct {
+	Name     string    `json:"name,omitempty"`
+	Interval int       `json:"interval"`
+	Interest []float32 `json:"interest"`
+}
+
+// MutateRequest is the body of PATCH /instances/{name}. Each applied request
+// bumps the instance's store version exactly once; in-flight solves keep
+// reading the pre-mutation snapshot.
+type MutateRequest struct {
+	Interest          []CellUpdate   `json:"interest,omitempty"`
+	CompetingInterest []CellUpdate   `json:"competing_interest,omitempty"`
+	Activity          []CellUpdate   `json:"activity,omitempty"`
+	AddCompeting      []NewCompeting `json:"add_competing,omitempty"`
+}
+
+// Empty reports whether the request carries no mutation at all.
+func (m MutateRequest) Empty() bool {
+	return len(m.Interest) == 0 && len(m.CompetingInterest) == 0 &&
+		len(m.Activity) == 0 && len(m.AddCompeting) == 0
+}
+
+// SimulateRequest is the body of POST /instances/{name}/simulate: Monte-Carlo
+// validation of a schedule's expected attendance (internal/sim).
+type SimulateRequest struct {
+	Schedule []AssignmentMsg `json:"schedule"`
+	Trials   int             `json:"trials"`
+	Seed     uint64          `json:"seed,omitempty"`
+}
+
+// SimulateResponse reports the simulation against the analytic utility.
+type SimulateResponse struct {
+	Instance       InstanceInfo `json:"instance"`
+	Trials         int          `json:"trials"`
+	Analytic       float64      `json:"analytic_utility"`
+	Simulated      float64      `json:"simulated_utility"`
+	RelErr         float64      `json:"relative_error"`
+	CompetingTotal float64      `json:"competing_attendance"`
+	// PerEvent maps event index → mean simulated attendance.
+	PerEvent map[int]float64 `json:"per_event,omitempty"`
+}
+
+// SummarizeRequest is the body of POST /instances/{name}/summarize.
+type SummarizeRequest struct {
+	Schedule []AssignmentMsg `json:"schedule"`
+}
+
+// SummarizeResponse re-evaluates the schedule against the instance's current
+// version: utility, per-assignment expected attendance and a rendered table.
+type SummarizeResponse struct {
+	Instance InstanceInfo `json:"instance"`
+	Schedule ScheduleMsg  `json:"schedule"`
+	// Text is the human-readable report table.
+	Text string `json:"text"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,101 @@
+package seio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+)
+
+func TestVersionGating(t *testing.T) {
+	inst := core.RunningExample()
+	// A file written by a future format must fail with an actionable
+	// "newer than supported" error, not a generic mismatch.
+	future := `{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`
+	_, err := ReadInstance(strings.NewReader(future))
+	if err == nil || !strings.Contains(err.Error(), "newer than this build") {
+		t.Errorf("future instance version: got %v, want 'newer than this build' error", err)
+	}
+	_, err = ReadSchedule(strings.NewReader(`{"version":2,"assignments":[]}`), inst)
+	if err == nil || !strings.Contains(err.Error(), "newer than this build") {
+		t.Errorf("future schedule version: got %v, want 'newer than this build' error", err)
+	}
+	// A missing/zero version is a different failure: plain unsupported.
+	_, err = ReadSchedule(strings.NewReader(`{"assignments":[]}`), inst)
+	if err == nil || !strings.Contains(err.Error(), "unsupported schedule format version 0") {
+		t.Errorf("missing schedule version: got %v, want 'unsupported' error", err)
+	}
+	_, err = ReadInstance(strings.NewReader(`{"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported instance format version 0") {
+		t.Errorf("missing instance version: got %v, want 'unsupported' error", err)
+	}
+}
+
+func TestScheduleMsgRoundTrip(t *testing.T) {
+	inst := core.RunningExample()
+	res, err := algo.HORI{}.Schedule(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := NewScheduleMsg(inst, res.Schedule)
+	if msg.Version != FormatVersion {
+		t.Errorf("message version %d, want %d", msg.Version, FormatVersion)
+	}
+	if msg.Utility != res.Utility {
+		t.Errorf("message utility %v, want %v", msg.Utility, res.Utility)
+	}
+	if len(msg.Assignments) != res.Schedule.Len() {
+		t.Fatalf("%d assignments in message, want %d", len(msg.Assignments), res.Schedule.Len())
+	}
+	got, err := msg.Replay(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Schedule.Assignments() {
+		if got.Assignments()[i] != a {
+			t.Fatalf("assignment %d changed in replay", i)
+		}
+	}
+	// Replay validates against the instance: duplicate events must fail.
+	bad := ScheduleMsg{Version: FormatVersion, Assignments: []AssignmentMsg{
+		{Event: 0, Interval: 0}, {Event: 0, Interval: 1},
+	}}
+	if _, err := bad.Replay(inst); err == nil {
+		t.Error("duplicate-event replay accepted")
+	}
+}
+
+func TestMutateRequestEmpty(t *testing.T) {
+	if !(MutateRequest{}).Empty() {
+		t.Error("zero MutateRequest not Empty")
+	}
+	if (MutateRequest{Activity: []CellUpdate{{User: 0, Index: 0, Value: 1}}}).Empty() {
+		t.Error("non-zero MutateRequest reported Empty")
+	}
+}
+
+// TestWriteScheduleStable pins the on-disk schedule layout the server and CLI
+// share: encode, decode as a message, re-encode — byte-identical.
+func TestWriteScheduleStable(t *testing.T) {
+	inst := core.RunningExample()
+	res, err := algo.ALG{}.Schedule(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteSchedule(&a, inst, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSchedule(bytes.NewReader(a.Bytes()), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSchedule(&b, inst, s); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("schedule serialization not stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seio"
+)
+
+// cacheKey identifies a solve result: the instance name at an exact store
+// version (which pins the content — versions never repeat for a name), the
+// algorithm, k, the RAND seed (zero for deterministic algorithms so they
+// share entries across client seeds) and a fingerprint of the scorer
+// options. Identical queries against an unmutated instance are O(1).
+type cacheKey struct {
+	name      string
+	version   uint64
+	algorithm string
+	k         int
+	seed      uint64
+	opts      uint64
+}
+
+// optsFingerprint hashes the Section 2.1 extension vectors into the cache
+// key. Length markers separate the two vectors so ambiguous concatenations
+// cannot collide.
+func optsFingerprint(userWeights, eventCosts []float64) uint64 {
+	if len(userWeights) == 0 && len(eventCosts) == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	wr := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	wr(uint64(len(userWeights)))
+	for _, v := range userWeights {
+		wr(math.Float64bits(v))
+	}
+	wr(uint64(len(eventCosts)))
+	for _, v := range eventCosts {
+		wr(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp seio.SolveResponse
+}
+
+// Cache is a bounded LRU result cache. Entries are immutable SolveResponses;
+// mutation and deletion of an instance invalidate exactly that instance's
+// entries (all versions), leaving the rest of the cache warm.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+// NewCache returns an LRU cache holding at most max entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached response for key, marking it most recently used.
+func (c *Cache) Get(key cacheKey) (seio.SolveResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return seio.SolveResponse{}, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// Put inserts the response, evicting the least recently used entry when full.
+func (c *Cache) Put(key cacheKey, resp seio.SolveResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// InvalidateInstance drops every entry of the named instance and returns how
+// many were removed.
+func (c *Cache) InvalidateInstance(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.name == name {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	c.invalidations.Add(int64(n))
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the /stats view of the cache.
+type CacheStats struct {
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Invalidations int64   `json:"invalidations"`
+}
+
+// Stats samples the cache counters.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Entries:       c.Len(),
+		Capacity:      c.max,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

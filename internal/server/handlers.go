@@ -1,0 +1,414 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	ses "repro"
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/seio"
+	"repro/internal/sim"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.count("healthz")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.count("stats")
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.count("list_instances")
+	writeJSON(w, http.StatusOK, struct {
+		Instances []seio.InstanceInfo `json:"instances"`
+	}{s.store.List()})
+}
+
+// handlePut uploads an instance in the seio wire format (a sesgen document):
+//
+//	curl -X PUT --data-binary @instance.json localhost:8080/instances/friday
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.count("put_instance")
+	name := r.PathValue("name")
+	inst, err := seio.ReadInstance(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	info, existed := s.store.Put(name, inst)
+	code := http.StatusCreated
+	if existed {
+		// Replacing rewrites content under the same name: drop its
+		// cached results (new versions would miss anyway, but stale
+		// entries would otherwise squat in the LRU).
+		s.cache.InvalidateInstance(name)
+		code = http.StatusOK
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.count("get_instance")
+	name := r.PathValue("name")
+	inst, info, err := s.store.Get(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-SES-Store-Version", fmt.Sprint(info.Version))
+	w.Header().Set("X-SES-Digest", info.Digest)
+	if err := seio.WriteInstance(w, inst); err != nil {
+		// Headers are already out; the truncated body is the best signal
+		// left. This only happens when the client disconnects mid-write.
+		return
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.count("delete_instance")
+	name := r.PathValue("name")
+	if !s.store.Delete(name) {
+		writeErr(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	s.cache.InvalidateInstance(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMutate applies a batch of interest/activity/competing updates as one
+// new store version. In-flight solves keep their snapshot; the instance's
+// cached results are invalidated.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.count("mutate_instance")
+	name := r.PathValue("name")
+	var req seio.MutateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Empty() {
+		writeErr(w, http.StatusBadRequest, errors.New("empty mutation: nothing to apply"))
+		return
+	}
+	info, err := s.store.Mutate(name, func(in *core.Instance) error {
+		return applyMutation(in, req)
+	})
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	s.cache.InvalidateInstance(name)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// applyMutation validates and applies one MutateRequest to a private
+// copy-on-write successor; any error discards the whole batch.
+func applyMutation(in *core.Instance, req seio.MutateRequest) error {
+	checkCell := func(kind string, u seio.CellUpdate, max int) error {
+		if u.User < 0 || u.User >= in.NumUsers() {
+			return fmt.Errorf("%s update: user %d out of range (have %d users)", kind, u.User, in.NumUsers())
+		}
+		if u.Index < 0 || u.Index >= max {
+			return fmt.Errorf("%s update: index %d out of range (have %d)", kind, u.Index, max)
+		}
+		if u.Value < 0 || u.Value > 1 {
+			return fmt.Errorf("%s update: value %v out of [0,1]", kind, u.Value)
+		}
+		return nil
+	}
+	for _, u := range req.Interest {
+		if err := checkCell("interest", u, in.NumEvents()); err != nil {
+			return err
+		}
+		in.SetInterest(u.User, u.Index, u.Value)
+	}
+	for _, u := range req.CompetingInterest {
+		if err := checkCell("competing_interest", u, in.NumCompeting()); err != nil {
+			return err
+		}
+		in.SetCompetingInterest(u.User, u.Index, u.Value)
+	}
+	for _, u := range req.Activity {
+		if err := checkCell("activity", u, in.NumIntervals()); err != nil {
+			return err
+		}
+		in.SetActivity(u.User, u.Index, u.Value)
+	}
+	for _, nc := range req.AddCompeting {
+		c := core.Competing{Name: nc.Name, Interval: nc.Interval}
+		if err := in.AddCompeting(c, nc.Interest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPooled submits work to the solver pool and waits for it or for the
+// client to go away. It writes the 429/backpressure responses itself and
+// reports whether the caller should write a response (false = already
+// handled or client gone).
+func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, run func()) bool {
+	done := make(chan struct{})
+	var panicked any
+	err := s.pool.Submit(r.Context(), func() {
+		defer close(done)
+		// A panicking solver must cost this request a 500, not the
+		// daemon its life (and with it the memory-only store).
+		defer func() { panicked = recover() }()
+		run()
+	})
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return false
+	case errors.Is(err, ErrPoolClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return false
+	case err != nil: // request context already dead
+		return false
+	}
+	select {
+	case <-done:
+		if panicked != nil {
+			s.pool.panics.Add(1)
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("solver panicked: %v", panicked))
+			return false
+		}
+		return true
+	case <-r.Context().Done():
+		// The client disconnected while the job was queued or running;
+		// the worker (if it runs) writes into thin air harmlessly since
+		// the response writer is dead anyway.
+		return false
+	}
+}
+
+// handleSolve runs one of the paper's algorithms against the current
+// snapshot of the instance, with an O(1) fast path for repeated identical
+// queries via the result cache.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.count("solve")
+	name := r.PathValue("name")
+	var req seio.SolveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "HOR-I"
+	}
+	if req.K <= 0 {
+		writeErr(w, http.StatusBadRequest, algo.ErrBadK)
+		return
+	}
+	opts := core.ScorerOptions{UserWeights: req.UserWeights, EventCost: req.EventCosts}
+	sched, err := algo.NewWithOptions(req.Algorithm, req.Seed, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, info, err := s.store.Get(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	// Deterministic algorithms share cache entries across client seeds.
+	seedKey := uint64(0)
+	if req.Algorithm == "RAND" {
+		seedKey = req.Seed
+	}
+	key := cacheKey{
+		name:      name,
+		version:   info.Version,
+		algorithm: req.Algorithm,
+		k:         req.K,
+		seed:      seedKey,
+		opts:      optsFingerprint(req.UserWeights, req.EventCosts),
+	}
+	if resp, ok := s.cache.Get(key); ok {
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var (
+		resp   seio.SolveResponse
+		slvErr error
+	)
+	if !s.runPooled(w, r, func() {
+		res, err := sched.Schedule(inst, req.K)
+		if err != nil {
+			slvErr = err
+			return
+		}
+		s.scoreEvals.Add(res.ScoreEvals)
+		s.examined.Add(res.Examined)
+		resp = seio.SolveResponse{
+			Instance:   info,
+			Algorithm:  req.Algorithm,
+			K:          req.K,
+			Schedule:   seio.NewScheduleMsg(inst, res.Schedule),
+			ScoreEvals: res.ScoreEvals,
+			Examined:   res.Examined,
+			ElapsedMS:  seio.DurationMS(res.Elapsed),
+		}
+		s.cache.Put(key, resp)
+	}) {
+		return
+	}
+	if slvErr != nil {
+		writeErr(w, http.StatusBadRequest, slvErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExtend grows a client-provided base schedule by extra greedy
+// selections against the current snapshot (the organizer's re-planning
+// workflow). Extend results depend on the arbitrary base, so they bypass the
+// result cache.
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	s.count("extend")
+	name := r.PathValue("name")
+	var req seio.ExtendRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Extra <= 0 {
+		writeErr(w, http.StatusBadRequest, algo.ErrBadK)
+		return
+	}
+	inst, info, err := s.store.Get(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	base, err := (seio.ScheduleMsg{Version: seio.FormatVersion, Assignments: req.Base}).Replay(inst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.ScorerOptions{UserWeights: req.UserWeights, EventCost: req.EventCosts}
+	var (
+		resp   seio.SolveResponse
+		extErr error
+	)
+	if !s.runPooled(w, r, func() {
+		res, err := algo.Extend(inst, base, req.Extra, opts)
+		if err != nil {
+			extErr = err
+			return
+		}
+		s.scoreEvals.Add(res.ScoreEvals)
+		s.examined.Add(res.Examined)
+		resp = seio.SolveResponse{
+			Instance:   info,
+			Algorithm:  "EXTEND",
+			K:          req.Extra,
+			Schedule:   seio.NewScheduleMsg(inst, res.Schedule),
+			ScoreEvals: res.ScoreEvals,
+			Examined:   res.Examined,
+			ElapsedMS:  seio.DurationMS(res.Elapsed),
+		}
+	}) {
+		return
+	}
+	if extErr != nil {
+		writeErr(w, http.StatusBadRequest, extErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSimulate Monte-Carlo-validates a schedule against the analytic
+// utility (internal/sim) on the current snapshot.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.count("simulate")
+	name := r.PathValue("name")
+	var req seio.SimulateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Trials <= 0 {
+		req.Trials = 1000
+	}
+	inst, info, err := s.store.Get(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	schedule, err := (seio.ScheduleMsg{Version: seio.FormatVersion, Assignments: req.Schedule}).Replay(inst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		resp   seio.SimulateResponse
+		simErr error
+	)
+	if !s.runPooled(w, r, func() {
+		res, err := sim.Simulate(inst, schedule, req.Trials, req.Seed)
+		if err != nil {
+			simErr = err
+			return
+		}
+		analytic := core.NewScorer(inst).Utility(schedule)
+		relErr := 0.0
+		if analytic > 0 {
+			relErr = (res.MeanTotal - analytic) / analytic
+		}
+		resp = seio.SimulateResponse{
+			Instance:       info,
+			Trials:         req.Trials,
+			Analytic:       analytic,
+			Simulated:      res.MeanTotal,
+			RelErr:         relErr,
+			CompetingTotal: res.CompetingTotal,
+			PerEvent:       res.PerEvent,
+		}
+	}) {
+		return
+	}
+	if simErr != nil {
+		writeErr(w, http.StatusBadRequest, simErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSummarize re-evaluates a schedule against the instance's current
+// version and renders the organizer-facing report. It is cheap (one scorer
+// pass per assignment), so it runs inline rather than on the pool.
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	s.count("summarize")
+	name := r.PathValue("name")
+	var req seio.SummarizeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, info, err := s.store.Get(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	schedule, err := (seio.ScheduleMsg{Version: seio.FormatVersion, Assignments: req.Schedule}).Replay(inst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, seio.SummarizeResponse{
+		Instance: info,
+		Schedule: seio.NewScheduleMsg(inst, schedule),
+		Text:     ses.Summarize(inst, schedule).String(),
+	})
+}

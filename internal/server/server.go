@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seio"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the solver pool size; default GOMAXPROCS. Solves are
+	// CPU-bound, so more workers than cores only adds contention.
+	Workers int
+	// Queue is the solver queue capacity; default 64. A full queue makes
+	// solve requests fail fast with 429 (backpressure).
+	Queue int
+	// CacheSize bounds the solve result cache (entries); default 256.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies; default 256 MiB (a 1M-user
+	// instance upload is large). Exceeding it fails the decode with 400.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// routes names every endpoint once: the /stats request counters and the mux
+// registration both iterate it, so the two cannot drift apart.
+var routes = []string{
+	"healthz", "stats", "list_instances", "put_instance", "get_instance",
+	"delete_instance", "mutate_instance", "solve", "extend", "simulate",
+	"summarize",
+}
+
+// Server is the sesd HTTP service: store + pool + cache behind a ServeMux.
+type Server struct {
+	cfg   Config
+	store *Store
+	pool  *Pool
+	cache *Cache
+	mux   *http.ServeMux
+
+	started time.Time
+	counts  map[string]*atomic.Int64
+	// scoreEvals / examined accumulate the work counters of every solver
+	// run executed by the pool; a cache hit adds nothing, which is how the
+	// lifecycle test observes "no new scorer work".
+	scoreEvals atomic.Int64
+	examined   atomic.Int64
+}
+
+// New builds a ready-to-serve Server. Callers must Close it to stop the
+// worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(),
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		cache:   NewCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		counts:  make(map[string]*atomic.Int64, len(routes)),
+	}
+	for _, r := range routes {
+		s.counts[r] = new(atomic.Int64)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /instances", s.handleList)
+	s.mux.HandleFunc("PUT /instances/{name}", s.handlePut)
+	s.mux.HandleFunc("GET /instances/{name}", s.handleGet)
+	s.mux.HandleFunc("DELETE /instances/{name}", s.handleDelete)
+	s.mux.HandleFunc("PATCH /instances/{name}", s.handleMutate)
+	s.mux.HandleFunc("POST /instances/{name}/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /instances/{name}/extend", s.handleExtend)
+	s.mux.HandleFunc("POST /instances/{name}/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /instances/{name}/summarize", s.handleSummarize)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// count bumps the request counter of the named route.
+func (s *Server) count(route string) { s.counts[route].Add(1) }
+
+// Stats is the /stats response body.
+type Stats struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Instances     int              `json:"instances"`
+	Requests      map[string]int64 `json:"requests"`
+	Cache         CacheStats       `json:"cache"`
+	Pool          PoolStats        `json:"pool"`
+	Work          WorkStats        `json:"work"`
+}
+
+// WorkStats totals the solver work executed since startup.
+type WorkStats struct {
+	ScoreEvals int64 `json:"score_evals"`
+	Examined   int64 `json:"examined"`
+}
+
+// Snapshot samples every service counter.
+func (s *Server) Snapshot() Stats {
+	req := make(map[string]int64, len(s.counts))
+	for name, c := range s.counts {
+		req[name] = c.Load()
+	}
+	return Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Instances:     s.store.Len(),
+		Requests:      req,
+		Cache:         s.cache.Stats(),
+		Pool:          s.pool.Stats(),
+		Work: WorkStats{
+			ScoreEvals: s.scoreEvals.Load(),
+			Examined:   s.examined.Load(),
+		},
+	}
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeErr writes the uniform error body.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, seio.ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body into v, bounded by the configured
+// body limit. Unknown fields are rejected so typos in request bodies fail
+// loudly instead of silently falling back to defaults.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	return nil
+}
+
+// storeErrCode maps store errors to HTTP statuses.
+func storeErrCode(err error) int {
+	if errors.Is(err, ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,186 @@
+// Package server implements sesd, the online SES solver service: a versioned
+// in-memory instance store with copy-on-write snapshots, a bounded worker
+// pool executing solves with backpressure, a result cache keyed by instance
+// version, and the HTTP/JSON API tying them together (stdlib net/http only).
+//
+// The design follows the store-backed query-service shape of the systems in
+// PAPERS.md: expensive data (an instance's interest/activity matrices) is
+// uploaded once and versioned, while many cheap queries (solve, extend,
+// simulate, summarize) run against immutable snapshots. Mutations never block
+// readers — they publish a successor version built from a core.Instance
+// copy-on-write snapshot, the idiom persistent stores like ebakusdb use for
+// safe concurrent reads during transactions.
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/seio"
+)
+
+// ErrNotFound is returned for operations on instance names the store does
+// not hold.
+var ErrNotFound = errors.New("server: instance not found")
+
+// versioned is one published instance version. Once stored it is immutable:
+// mutations build a successor from a snapshot and swap the pointer.
+type versioned struct {
+	inst *core.Instance
+	info seio.InstanceInfo
+}
+
+// Store maps instance names to their current published version. Reads return
+// the published snapshot and may use it indefinitely without locking; writes
+// (Put, Mutate, Delete) serialize per name and bump the version.
+//
+// Version sequences are per name and never restart — not even across
+// Delete + re-Put (lastVer outlives the entry). The result cache keys on
+// (name, version), so a repeated version for a name would let an in-flight
+// solve of deleted content poison the cache of its replacement.
+type Store struct {
+	// mu guards the maps; it is held only for pointer swaps and lookups.
+	mu      sync.RWMutex
+	m       map[string]*versioned
+	lastVer map[string]uint64
+	// writeLocks serializes the mutation pipeline (snapshot, apply,
+	// digest, publish) per instance name, so concurrent writers of one
+	// name cannot lose updates while a slow O(matrix) digest of one
+	// instance never stalls writes to others. Entries are tiny and kept
+	// across Delete (like lastVer), bounding the map by names ever used.
+	writeLocks map[string]*sync.Mutex
+}
+
+// NewStore returns an empty instance store.
+func NewStore() *Store {
+	return &Store{
+		m:          make(map[string]*versioned),
+		lastVer:    make(map[string]uint64),
+		writeLocks: make(map[string]*sync.Mutex),
+	}
+}
+
+// writeLock returns the mutation lock of name, creating it on first use.
+func (st *Store) writeLock(name string) *sync.Mutex {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	l, ok := st.writeLocks[name]
+	if !ok {
+		l = new(sync.Mutex)
+		st.writeLocks[name] = l
+	}
+	return l
+}
+
+func makeInfo(name string, ver uint64, digest string, inst *core.Instance) seio.InstanceInfo {
+	return seio.InstanceInfo{
+		Name:      name,
+		Version:   ver,
+		Digest:    digest,
+		Events:    inst.NumEvents(),
+		Intervals: inst.NumIntervals(),
+		Competing: inst.NumCompeting(),
+		Users:     inst.NumUsers(),
+		Theta:     inst.Theta,
+	}
+}
+
+// publish swaps in v as the current version of name.
+func (st *Store) publish(name string, v *versioned) {
+	st.mu.Lock()
+	st.m[name] = v
+	st.lastVer[name] = v.info.Version
+	st.mu.Unlock()
+}
+
+// Put stores the instance under name, replacing any existing one. The
+// version sequence continues from the highest version the name ever had.
+// It reports whether the name currently exists.
+func (st *Store) Put(name string, inst *core.Instance) (seio.InstanceInfo, bool) {
+	l := st.writeLock(name)
+	l.Lock()
+	defer l.Unlock()
+	// Snapshot detaches the stored matrices from the caller's instance, so
+	// a caller mutating its upload afterwards cannot corrupt the store.
+	// Digest is O(matrix) and runs before mu so readers never wait on it.
+	snap := inst.Snapshot()
+	digest := snap.Digest()
+	st.mu.RLock()
+	_, existed := st.m[name]
+	ver := st.lastVer[name] + 1
+	st.mu.RUnlock()
+	v := &versioned{inst: snap, info: makeInfo(name, ver, digest, snap)}
+	st.publish(name, v)
+	return v.info, existed
+}
+
+// Get returns the current published snapshot of the named instance. The
+// returned instance is immutable and remains valid (and consistent) even if
+// the store mutates or deletes the name afterwards.
+func (st *Store) Get(name string) (*core.Instance, seio.InstanceInfo, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.m[name]
+	if !ok {
+		return nil, seio.InstanceInfo{}, ErrNotFound
+	}
+	return v.inst, v.info, nil
+}
+
+// Mutate applies fn to a copy-on-write successor of the named instance and
+// publishes it as the next version. In-flight readers keep their snapshot;
+// if fn fails nothing is published. fn and the digest run outside mu, so
+// readers of any instance are never blocked by a slow mutation.
+func (st *Store) Mutate(name string, fn func(*core.Instance) error) (seio.InstanceInfo, error) {
+	l := st.writeLock(name)
+	l.Lock()
+	defer l.Unlock()
+	st.mu.RLock()
+	v, ok := st.m[name]
+	st.mu.RUnlock()
+	if !ok {
+		return seio.InstanceInfo{}, ErrNotFound
+	}
+	next := v.inst.Snapshot()
+	if err := fn(next); err != nil {
+		return seio.InstanceInfo{}, err
+	}
+	nv := &versioned{inst: next, info: makeInfo(name, v.info.Version+1, next.Digest(), next)}
+	st.publish(name, nv)
+	return nv.info, nil
+}
+
+// Delete removes the named instance, reporting whether it existed. The
+// name's version sequence is retained so a later re-Put cannot reuse a
+// version number.
+func (st *Store) Delete(name string) bool {
+	l := st.writeLock(name)
+	l.Lock()
+	defer l.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.m[name]
+	delete(st.m, name)
+	return ok
+}
+
+// List returns the metadata of every stored instance, sorted by name.
+func (st *Store) List() []seio.InstanceInfo {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]seio.InstanceInfo, 0, len(st.m))
+	for _, v := range st.m {
+		out = append(out, v.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of stored instances.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestVersionSequenceSurvivesDelete pins the cache-safety invariant:
+// versions for a name never repeat, even across Delete + re-Put, so an
+// in-flight solve of deleted content can never collide with a cache key of
+// its replacement.
+func TestVersionSequenceSurvivesDelete(t *testing.T) {
+	st := NewStore()
+	inst, err := dataset.Generate(dataset.DefaultConfig(3, 20, dataset.Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, existed := st.Put("a", inst)
+	if existed || info.Version != 1 {
+		t.Fatalf("first put: existed=%v version=%d", existed, info.Version)
+	}
+	if _, err := st.Mutate("a", func(in *core.Instance) error {
+		in.SetActivity(0, 0, 0.5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Delete("a") {
+		t.Fatal("delete failed")
+	}
+	info2, existed := st.Put("a", inst)
+	if existed {
+		t.Error("re-put after delete reported the name as existing")
+	}
+	if info2.Version <= 2 {
+		t.Errorf("version restarted at %d after delete; must continue past 2", info2.Version)
+	}
+}
+
+// TestPoolSurvivesPanic pins the panic boundary: the store is memory-only,
+// so one panicking job must not take down the worker (and with it the
+// daemon holding every uploaded instance).
+func TestPoolSurvivesPanic(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	if err := p.Submit(context.Background(), func() { panic("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done // the single worker survived the panic and ran the next job
+	if got := p.Stats().Panics; got != 1 {
+		t.Errorf("panics counter %d, want 1", got)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("submit after close: %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent: must not panic on the closed channel
+}
+
+func TestStoreGetAfterDelete(t *testing.T) {
+	st := NewStore()
+	inst, err := dataset.Generate(dataset.DefaultConfig(3, 20, dataset.Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("a", inst)
+	snap, _, err := st.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Delete("a")
+	// The held snapshot stays fully usable after deletion.
+	if snap.NumUsers() != 20 || snap.Validate() != nil {
+		t.Error("snapshot unusable after delete")
+	}
+	if _, _, err := st.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v, want ErrNotFound", err)
+	}
+}

@@ -23,10 +23,13 @@ package ses
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/seio"
+	"repro/internal/sim"
 )
 
 // Core model types, re-exported from the engine.
@@ -156,6 +159,44 @@ func ExtendWithOptions(inst *Instance, base *Schedule, extra int, opts ScorerOpt
 // RunningExample returns the paper's Figure 1 running example instance
 // (4 events, 2 intervals, 2 competing events, 2 users).
 func RunningExample() *Instance { return core.RunningExample() }
+
+// Digest returns inst.Digest(): the SHA-256 content digest of the instance
+// (parameters, metadata and both matrices). Equal digests mean equal
+// problems, which is how the sesd service deduplicates uploads and keys its
+// solver result cache.
+func Digest(inst *Instance) string { return inst.Digest() }
+
+// Serialization, re-exported from the wire-format engine so library users
+// can produce and consume the documents the CLIs and the sesd HTTP service
+// exchange (instances as written by sesgen, schedules as written by sesrun).
+
+// WriteInstance encodes the instance as versioned JSON.
+func WriteInstance(w io.Writer, inst *Instance) error { return seio.WriteInstance(w, inst) }
+
+// ReadInstance decodes and validates an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) { return seio.ReadInstance(r) }
+
+// WriteSchedule encodes the schedule with its evaluation (utility and
+// per-event expected attendance).
+func WriteSchedule(w io.Writer, inst *Instance, s *Schedule) error {
+	return seio.WriteSchedule(w, inst, s)
+}
+
+// ReadSchedule decodes a schedule and replays it onto the instance,
+// re-validating feasibility.
+func ReadSchedule(r io.Reader, inst *Instance) (*Schedule, error) {
+	return seio.ReadSchedule(r, inst)
+}
+
+// SimResult aggregates a Monte-Carlo attendance simulation.
+type SimResult = sim.Result
+
+// Simulate runs trials Monte-Carlo repetitions of the Section 2.1 attendance
+// process on the schedule, the empirical counterpart of the analytic Ω the
+// algorithms optimize.
+func Simulate(inst *Instance, s *Schedule, trials int, seed uint64) (*SimResult, error) {
+	return sim.Simulate(inst, s, trials, seed)
+}
 
 // Workload generation, re-exported from the dataset engine.
 type (
