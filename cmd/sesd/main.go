@@ -13,6 +13,9 @@
 //	POST   /instances/{name}/extend     grow an existing schedule greedily
 //	POST   /instances/{name}/simulate   Monte-Carlo check a schedule
 //	POST   /instances/{name}/summarize  render the organizer report
+//	POST   /instances/{name}/jobs       submit an async algorithm × k sweep job
+//	GET    /jobs, GET /jobs/{id}        list jobs / poll one (partial results)
+//	DELETE /jobs/{id}                   cancel a job (running cells stop mid-solve)
 //	GET    /healthz, GET /stats         liveness and service counters
 //
 // Example:
@@ -21,6 +24,7 @@
 //	sesd -addr :8080 &
 //	curl -X PUT --data-binary @fest.json localhost:8080/instances/fest
 //	curl -X POST -d '{"algorithm":"HOR-I","k":10}' localhost:8080/instances/fest/solve
+//	curl -X POST -d '{"algorithms":["ALG","HOR-I"],"ks":[5,10]}' localhost:8080/instances/fest/jobs
 package main
 
 import (

@@ -9,6 +9,13 @@
 //
 // With -simulate N, the analytic utility Ω is cross-checked against N
 // Monte-Carlo trials of the Luce-choice attendance process.
+//
+// With -batch URL, sesrun becomes a client of sesd's async jobs API: it
+// uploads the instance, submits an algorithm × k sweep job, polls it to
+// completion and renders the aggregated utility/time grid:
+//
+//	sesrun -batch http://localhost:8080 -instance fest -in fest.json \
+//	       -algos ALG,INC,HOR,HOR-I -ks 10,20
 package main
 
 import (

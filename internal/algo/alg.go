@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -24,8 +25,17 @@ func (ALG) Name() string { return "ALG" }
 
 // Schedule implements Scheduler.
 func (a ALG) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return a.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (a ALG) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, a.Opts)
@@ -41,10 +51,16 @@ func (a ALG) Schedule(inst *core.Instance, k int) (*Result, error) {
 		for t := 0; t < nT; t++ {
 			scores[e*nT+t] = sc.Score(s, e, t)
 			c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	for s.Len() < k {
+		if err := g.point(); err != nil {
+			return nil, err
+		}
 		// Select: scan every available assignment for the top valid one.
 		bestE, bestT := int32(-1), -1
 		bestScore := 0.0
@@ -69,6 +85,9 @@ func (a ALG) Schedule(inst *core.Instance, k int) (*Result, error) {
 		if err := s.Assign(int(bestE), bestT); err != nil {
 			return nil, err
 		}
+		if err := g.selected(s.Len()); err != nil {
+			return nil, err
+		}
 		if s.Len() >= k {
 			break // no selection follows, so no update is needed
 		}
@@ -84,6 +103,9 @@ func (a ALG) Schedule(inst *core.Instance, k int) (*Result, error) {
 			}
 			scores[e*nT+bestT] = sc.Score(s, e, bestT)
 			c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return finish(sc, s, c, start), nil

@@ -10,6 +10,7 @@
 package algo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,8 +53,14 @@ type Scheduler interface {
 	Name() string
 	// Schedule builds a feasible schedule with at most k assignments.
 	// Fewer than k assignments are returned only when no further valid
-	// assignment exists.
+	// assignment exists. It is ScheduleCtx with a background context.
 	Schedule(inst *core.Instance, k int) (*Result, error)
+	// ScheduleCtx is Schedule with cooperative cancellation: the selection
+	// and scoring loops poll ctx periodically and abandon the run with
+	// ctx.Err() once it is cancelled, so a long solve never holds a worker
+	// past its caller's interest. A Progress callback attached to ctx via
+	// WithProgress is invoked after every selection.
+	ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error)
 }
 
 // ErrBadK is returned when k is not positive.

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -25,8 +26,17 @@ func (TOP) Name() string { return "TOP" }
 
 // Schedule implements Scheduler.
 func (a TOP) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return a.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (a TOP) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, a.Opts)
@@ -46,6 +56,9 @@ func (a TOP) Schedule(inst *core.Instance, k int) (*Result, error) {
 		for t := 0; t < nT; t++ {
 			all = append(all, pair{item{e: int32(e), score: sc.Score(s, e, t)}, t})
 			c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -56,8 +69,14 @@ func (a TOP) Schedule(inst *core.Instance, k int) (*Result, error) {
 			break
 		}
 		c.Examined++
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if s.Valid(int(p.e), p.t) {
 			if err := s.Assign(int(p.e), p.t); err != nil {
+				return nil, err
+			}
+			if err := g.selected(s.Len()); err != nil {
 				return nil, err
 			}
 		}
@@ -82,8 +101,17 @@ func (RAND) Name() string { return "RAND" }
 
 // Schedule implements Scheduler.
 func (r RAND) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return r.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (r RAND) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, r.Opts)
@@ -104,8 +132,14 @@ func (r RAND) Schedule(inst *core.Instance, k int) (*Result, error) {
 		}
 		e, t := idx/nT, idx%nT
 		c.Examined++
+		if err := g.step(); err != nil {
+			return nil, err
+		}
 		if s.Valid(e, t) {
 			if err := s.Assign(e, t); err != nil {
+				return nil, err
+			}
+			if err := g.selected(s.Len()); err != nil {
 				return nil, err
 			}
 		}

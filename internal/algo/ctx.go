@@ -1,0 +1,66 @@
+package algo
+
+import "context"
+
+// Progress receives scheduling progress: the number of selections made so
+// far out of the k requested. Callbacks run synchronously inside the
+// selection loop, so they must be fast; cancelling the run's context from
+// inside a callback is the supported way to stop a sweep cell early.
+type Progress func(made, k int)
+
+// progressKey carries a Progress callback through a context.
+type progressKey struct{}
+
+// WithProgress returns a context carrying fn; ScheduleCtx invokes fn after
+// every selection it makes. A nil fn is ignored.
+func WithProgress(ctx context.Context, fn Progress) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// checkEvery amortizes context polling inside tight scoring loops: one
+// ctx.Err() per checkEvery score computations keeps the cancellation latency
+// bounded by checkEvery × O(|U|) work while costing nothing measurable.
+const checkEvery = 32
+
+// guard bundles the cancellation and progress plumbing of one ScheduleCtx
+// run, so the six schedulers share identical semantics.
+type guard struct {
+	ctx      context.Context
+	progress Progress
+	k        int
+	n        uint
+}
+
+func newGuard(ctx context.Context, k int) *guard {
+	g := &guard{ctx: ctx, k: k}
+	if fn, ok := ctx.Value(progressKey{}).(Progress); ok {
+		g.progress = fn
+	}
+	return g
+}
+
+// point polls the context immediately. Use at run start and loop heads.
+func (g *guard) point() error { return g.ctx.Err() }
+
+// step is the amortized check for scoring/scan loops: every checkEvery-th
+// call polls the context.
+func (g *guard) step() error {
+	g.n++
+	if g.n%checkEvery == 0 {
+		return g.ctx.Err()
+	}
+	return nil
+}
+
+// selected reports one completed selection and polls the context, so a
+// cancellation raised by the callback itself is honored before any further
+// work starts.
+func (g *guard) selected(made int) error {
+	if g.progress != nil {
+		g.progress(made, g.k)
+	}
+	return g.ctx.Err()
+}

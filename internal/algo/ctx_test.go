@@ -1,0 +1,138 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ctxTestInstance builds an instance large enough that every scheduler makes
+// several selections with real scoring work between them.
+func ctxTestInstance(t *testing.T) *core.Instance {
+	t.Helper()
+	inst, err := dataset.Generate(dataset.DefaultConfig(10, 300, dataset.Zipf2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestScheduleCtxAlreadyCancelled pins the promptness contract: a cancelled
+// context returns context.Canceled before any scheduling work starts.
+func TestScheduleCtxAlreadyCancelled(t *testing.T) {
+	inst := ctxTestInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range schedulers() {
+		res, err := s.ScheduleCtx(ctx, inst, 5)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled context returned (%v, %v), want context.Canceled", s.Name(), res, err)
+		}
+		if res != nil {
+			t.Errorf("%s: cancelled run still produced a result", s.Name())
+		}
+	}
+}
+
+// TestScheduleCtxMidRunCancel cancels each scheduler from its own progress
+// callback after two selections: the run must stop with context.Canceled
+// well before completing all k selections.
+func TestScheduleCtxMidRunCancel(t *testing.T) {
+	inst := ctxTestInstance(t)
+	const k = 10
+	for _, s := range schedulers() {
+		ctx, cancel := context.WithCancel(context.Background())
+		maxMade := 0
+		ctx = WithProgress(ctx, func(made, total int) {
+			if total != k {
+				t.Errorf("%s: progress total %d, want %d", s.Name(), total, k)
+			}
+			if made > maxMade {
+				maxMade = made
+			}
+			if made == 2 {
+				cancel()
+			}
+		})
+		res, err := s.ScheduleCtx(ctx, inst, k)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: mid-run cancel returned (%v, %v), want context.Canceled", s.Name(), res, err)
+			continue
+		}
+		if maxMade >= k {
+			t.Errorf("%s: completed all %d selections despite cancellation at 2", s.Name(), maxMade)
+		}
+	}
+}
+
+// TestScheduleCtxMatchesSchedule pins the thin-wrapper contract: with a
+// background context, ScheduleCtx and Schedule produce bitwise-identical
+// schedules, utilities and work counters.
+func TestScheduleCtxMatchesSchedule(t *testing.T) {
+	inst := ctxTestInstance(t)
+	for _, s := range schedulers() {
+		plain, err := s.Schedule(inst, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		ctxed, err := s.ScheduleCtx(context.Background(), inst, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if plain.Utility != ctxed.Utility {
+			t.Errorf("%s: utility drifted: Schedule %v, ScheduleCtx %v", s.Name(), plain.Utility, ctxed.Utility)
+		}
+		if plain.ScoreEvals != ctxed.ScoreEvals || plain.Examined != ctxed.Examined {
+			t.Errorf("%s: counters drifted: (%d, %d) vs (%d, %d)", s.Name(),
+				plain.ScoreEvals, plain.Examined, ctxed.ScoreEvals, ctxed.Examined)
+		}
+		pa, ca := plain.Schedule.Assignments(), ctxed.Schedule.Assignments()
+		if len(pa) != len(ca) {
+			t.Fatalf("%s: schedule lengths differ: %d vs %d", s.Name(), len(pa), len(ca))
+		}
+		for i := range pa {
+			if pa[i] != ca[i] {
+				t.Errorf("%s: assignment %d drifted: %v vs %v", s.Name(), i, pa[i], ca[i])
+			}
+		}
+	}
+}
+
+// TestScheduleCtxProgressMonotonic asserts the progress callback reports
+// every selection exactly once, in order, ending at the schedule's length.
+func TestScheduleCtxProgressMonotonic(t *testing.T) {
+	inst := ctxTestInstance(t)
+	for _, s := range schedulers() {
+		var seen []int
+		ctx := WithProgress(context.Background(), func(made, total int) {
+			seen = append(seen, made)
+		})
+		res, err := s.ScheduleCtx(ctx, inst, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(seen) != res.Schedule.Len() {
+			t.Fatalf("%s: %d progress callbacks for %d selections", s.Name(), len(seen), res.Schedule.Len())
+		}
+		for i, made := range seen {
+			if made != i+1 {
+				t.Errorf("%s: progress callback %d reported %d selections, want %d", s.Name(), i, made, i+1)
+			}
+		}
+	}
+}
+
+// TestScheduleCtxDeadline covers the second cancellation flavor: an expired
+// deadline surfaces as context.DeadlineExceeded.
+func TestScheduleCtxDeadline(t *testing.T) {
+	inst := ctxTestInstance(t)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := (ALG{}).ScheduleCtx(ctx, inst, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+}

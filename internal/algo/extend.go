@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -18,6 +19,12 @@ import (
 // assert. The base schedule is not modified; the returned Result holds an
 // extended copy.
 func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.ScorerOptions) (*Result, error) {
+	return ExtendCtx(context.Background(), inst, base, extra, opts)
+}
+
+// ExtendCtx is Extend with the same cooperative cancellation and progress
+// contract as Scheduler.ScheduleCtx.
+func ExtendCtx(ctx context.Context, inst *core.Instance, base *core.Schedule, extra int, opts core.ScorerOptions) (*Result, error) {
 	if extra <= 0 {
 		return nil, ErrBadK
 	}
@@ -26,6 +33,10 @@ func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.Score
 	}
 	if base.Instance() != inst {
 		return nil, errors.New("algo: base schedule belongs to a different instance")
+	}
+	g := newGuard(ctx, extra)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, opts)
@@ -44,6 +55,9 @@ func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.Score
 		for t := 0; t < nT; t++ {
 			scores[e*nT+t] = sc.Score(s, e, t)
 			c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	target := s.Len() + extra
@@ -71,6 +85,9 @@ func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.Score
 		if err := s.Assign(bestE, bestT); err != nil {
 			return nil, err
 		}
+		if err := g.selected(s.Len() - base.Len()); err != nil {
+			return nil, err
+		}
 		if s.Len() >= target {
 			break
 		}
@@ -83,6 +100,9 @@ func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.Score
 			}
 			scores[e*nT+bestT] = sc.Score(s, e, bestT)
 			c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return finish(sc, s, c, start), nil

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -25,8 +26,17 @@ func (HOR) Name() string { return "HOR" }
 
 // Schedule implements Scheduler.
 func (a HOR) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return a.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (a HOR) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, a.Opts)
@@ -49,11 +59,17 @@ func (a HOR) Schedule(inst *core.Instance, k int) (*Result, error) {
 				}
 				items = append(items, item{e: int32(e), score: sc.Score(s, e, t), updated: true})
 				c.ScoreEvals++
+				if err := g.step(); err != nil {
+					return nil, err
+				}
 			}
 			sortItems(items)
 			lists[t] = items
 		}
-		assigned := horSelectLayer(s, lists, k, &c)
+		assigned, err := horSelectLayer(s, lists, k, &c, g)
+		if err != nil {
+			return nil, err
+		}
 		if assigned == 0 {
 			break // no valid assignment anywhere: k is unreachable
 		}
@@ -67,7 +83,7 @@ func (a HOR) Schedule(inst *core.Instance, k int) (*Result, error) {
 // the cursor advances to the interval's next available event, otherwise the
 // assignment is made and the interval is done for the layer. Returns the
 // number of assignments made.
-func horSelectLayer(s *core.Schedule, lists [][]item, k int, c *Counters) int {
+func horSelectLayer(s *core.Schedule, lists [][]item, k int, c *Counters, g *guard) (int, error) {
 	nT := len(lists)
 	pos := make([]int, nT) // cursor into each interval's list
 	// live[t] tells whether interval t still holds a candidate in M.
@@ -101,6 +117,9 @@ func horSelectLayer(s *core.Schedule, lists [][]item, k int, c *Counters) int {
 			}
 			live[bestT] = false // one assignment per interval per layer
 			made++
+			if err := g.selected(s.Len()); err != nil {
+				return made, err
+			}
 			continue
 		}
 		// The event was claimed by another interval this layer: advance
@@ -119,5 +138,5 @@ func horSelectLayer(s *core.Schedule, lists [][]item, k int, c *Counters) int {
 			live[bestT] = false
 		}
 	}
-	return made
+	return made, nil
 }

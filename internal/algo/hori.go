@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -34,13 +35,23 @@ type horiState struct {
 	// dirty[t] marks interval t as possibly holding stale entries;
 	// clean intervals are skipped by the per-layer update sweep.
 	dirty []bool
+	g     *guard
 	c     Counters
 }
 
 // Schedule implements Scheduler.
 func (a HORI) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return a.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (a HORI) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, a.Opts)
@@ -53,6 +64,7 @@ func (a HORI) Schedule(inst *core.Instance, k int) (*Result, error) {
 		s:     core.NewSchedule(inst),
 		lists: make([][]item, inst.NumIntervals()),
 		dirty: make([]bool, inst.NumIntervals()),
+		g:     g,
 	}
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
 
@@ -66,12 +78,19 @@ func (a HORI) Schedule(inst *core.Instance, k int) (*Result, error) {
 			}
 			items = append(items, item{e: int32(e), score: st.sc.Score(st.s, e, t), updated: true})
 			st.c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 		sortItems(items)
 		st.lists[t] = items
 	}
 	for st.s.Len() < k {
-		if st.selectLayer(k) == 0 {
+		made, err := st.selectLayer(k)
+		if err != nil {
+			return nil, err
+		}
+		if made == 0 {
 			break
 		}
 		if st.s.Len() >= k {
@@ -82,7 +101,9 @@ func (a HORI) Schedule(inst *core.Instance, k int) (*Result, error) {
 		// are skipped outright.
 		for t := 0; t < nT; t++ {
 			if st.dirty[t] {
-				st.updateIntervalPass(t)
+				if err := st.updateIntervalPass(t); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -103,8 +124,8 @@ func (st *horiState) markStale(t int) {
 // pruning invalid entries; recompute stale entries while their stored score
 // reaches the interval bound Φ; leave the rest stale (their true scores are
 // below Φ). The list is re-sorted afterwards so its head is the interval's
-// exact top.
-func (st *horiState) updateIntervalPass(t int) {
+// exact top. The pass polls the run's context between recomputations.
+func (st *horiState) updateIntervalPass(t int) error {
 	items := st.lists[t]
 	out := items[:0]
 	// The first valid stale entry must always update, so Φ starts below
@@ -132,6 +153,9 @@ func (st *horiState) updateIntervalPass(t int) {
 			it.score = st.sc.Score(st.s, int(it.e), t)
 			it.updated = true
 			st.c.ScoreEvals++
+			if err := st.g.step(); err != nil {
+				return err
+			}
 			if it.score > phi {
 				phi = it.score
 			}
@@ -147,6 +171,7 @@ func (st *horiState) updateIntervalPass(t int) {
 	sortItems(out)
 	st.lists[t] = out
 	st.dirty[t] = staleLeft
+	return nil
 }
 
 // selectLayer performs one horizontal selection layer over the persistent
@@ -155,7 +180,7 @@ func (st *horiState) updateIntervalPass(t int) {
 // when the interval's head is stale, the interval is incrementally updated
 // first, which restores the exactness of its top and preserves the HOR
 // equivalence. Returns the number of assignments made.
-func (st *horiState) selectLayer(k int) int {
+func (st *horiState) selectLayer(k int) (int, error) {
 	nT := len(st.lists)
 	done := make([]bool, nT) // interval already assigned this layer (or exhausted)
 	made := 0
@@ -166,7 +191,10 @@ func (st *horiState) selectLayer(k int) int {
 			if done[t] {
 				continue
 			}
-			it, ok := st.head(t)
+			it, ok, err := st.head(t)
+			if err != nil {
+				return made, err
+			}
 			if !ok {
 				done[t] = true
 				continue
@@ -185,14 +213,17 @@ func (st *horiState) selectLayer(k int) int {
 		st.markStale(bestT)
 		done[bestT] = true
 		made++
+		if err := st.g.selected(st.s.Len()); err != nil {
+			return made, err
+		}
 	}
-	return made
+	return made, nil
 }
 
 // head returns interval t's exact top candidate: the first list entry after
 // pruning invalid ones, incrementally updating the interval when the head is
 // stale. ok is false when the interval has no valid entries left.
-func (st *horiState) head(t int) (item, bool) {
+func (st *horiState) head(t int) (it item, ok bool, err error) {
 	for {
 		items := st.lists[t]
 		// Prune invalid entries off the head.
@@ -209,15 +240,17 @@ func (st *horiState) head(t int) (item, bool) {
 			st.lists[t] = items
 		}
 		if len(items) == 0 {
-			return item{}, false
+			return item{}, false, nil
 		}
 		if items[0].updated {
-			return items[0], true
+			return items[0], true, nil
 		}
 		// Head is stale: its stored upper bound may hide a lower true
 		// score, so run the interval's incremental pass before trusting
 		// the head (this is Algorithm 3's lines 27-30 fallback, applied
 		// eagerly to guarantee Proposition 6).
-		st.updateIntervalPass(t)
+		if err := st.updateIntervalPass(t); err != nil {
+			return item{}, false, err
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -55,13 +56,23 @@ type incState struct {
 	s     *core.Schedule
 	lists []incList
 	m     []top
+	g     *guard
 	c     Counters
 }
 
 // Schedule implements Scheduler.
 func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
+	return a.ScheduleCtx(context.Background(), inst, k)
+}
+
+// ScheduleCtx implements Scheduler.
+func (a INC) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	sc, err := core.NewScorerWithOptions(inst, a.Opts)
@@ -74,6 +85,7 @@ func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
 		s:     core.NewSchedule(inst),
 		lists: make([]incList, inst.NumIntervals()),
 		m:     make([]top, inst.NumIntervals()),
+		g:     g,
 	}
 
 	// Generate all assignments, score them against the empty schedule and
@@ -87,6 +99,9 @@ func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
 			}
 			items = append(items, item{e: int32(e), score: st.sc.Score(st.s, e, t), updated: true})
 			st.c.ScoreEvals++
+			if err := g.step(); err != nil {
+				return nil, err
+			}
 		}
 		sortItems(items)
 		st.lists[t] = incList{items: items}
@@ -96,10 +111,15 @@ func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
 	}
 
 	for st.s.Len() < k {
+		if err := g.point(); err != nil {
+			return nil, err
+		}
 		// If every M entry is gone (e.g. |T| = 1 right after a
 		// selection), bootstrap Φ by updating stale assignments first.
 		if !st.anyTop() {
-			st.updatePass()
+			if err := st.updatePass(); err != nil {
+				return nil, err
+			}
 		}
 		tp := st.selectTop()
 		if tp < 0 {
@@ -107,6 +127,9 @@ func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
 		}
 		ep := st.m[tp].e
 		if err := st.s.Assign(int(ep), tp); err != nil {
+			return nil, err
+		}
+		if err := g.selected(st.s.Len()); err != nil {
 			return nil, err
 		}
 		if st.s.Len() >= k {
@@ -128,7 +151,9 @@ func (a INC) Schedule(inst *core.Instance, k int) (*Result, error) {
 				st.m[t] = st.rescanTop(t)
 			}
 		}
-		st.updatePass()
+		if err := st.updatePass(); err != nil {
+			return nil, err
+		}
 	}
 	return finish(st.sc, st.s, st.c, start), nil
 }
@@ -207,7 +232,8 @@ func (st *incState) staleTop(t int) (pos int, score float64, ok bool) {
 // its stored score reaches the bound Φ (the top of M). Stored scores are
 // upper bounds, so once the best stale stored score drops below Φ no stale
 // assignment can be the next selection (Proposition 1) and the pass stops.
-func (st *incState) updatePass() {
+// The pass polls the run's context between recomputations.
+func (st *incState) updatePass() error {
 	phi := math.Inf(-1)
 	phiE := int32(-1)
 	for _, m := range st.m {
@@ -247,10 +273,10 @@ func (st *incState) updatePass() {
 			}
 		}
 		if bestT < 0 {
-			return // nothing stale anywhere
+			return nil // nothing stale anywhere
 		}
 		if !math.IsInf(phi, -1) && bestScore < phi {
-			return // Corollary 1: all remaining stale scores are below Φ
+			return nil // Corollary 1: all remaining stale scores are below Φ
 		}
 		// Recompute the stale top and re-insert it in sorted position
 		// (scores only decrease, so it moves toward the tail).
@@ -259,6 +285,9 @@ func (st *incState) updatePass() {
 		it.score = st.sc.Score(st.s, int(it.e), bestT)
 		it.updated = true
 		st.c.ScoreEvals++
+		if err := st.g.step(); err != nil {
+			return err
+		}
 		lt.items = append(lt.items[:bestPos], lt.items[bestPos+1:]...)
 		ins := sort.Search(len(lt.items), func(i int) bool {
 			return !betterScoreEvent(lt.items[i].score, lt.items[i].e, it.score, it.e)

@@ -1,0 +1,191 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/seio"
+)
+
+// batchOptions configures one sesrun -batch sweep against a running sesd.
+type batchOptions struct {
+	BaseURL  string // sesd base URL, e.g. http://localhost:8080
+	Instance string // server-side instance name
+	In       string // instance file to upload ("-" = stdin, "" = skip upload)
+	Algos    []string
+	Ks       []int
+	Seed     uint64
+	Poll     time.Duration
+	Timeout  time.Duration
+}
+
+// parseList splits a comma-separated list, trimming whitespace and dropping
+// empty tokens, so "ALG, INC" parses like "ALG,INC".
+func parseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseKs splits a comma-separated k list.
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad k value %q: %w", part, err)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no k values in %q", s)
+	}
+	return ks, nil
+}
+
+// batchSweep drives the jobs API end to end: (optionally) upload the
+// instance, submit the sweep, poll with partial-progress reporting, then
+// render the aggregated algorithm × k grid with the experiment renderer.
+// A cancelled or failed cell makes the exit code non-zero.
+func batchSweep(stdin io.Reader, o batchOptions, stdout, stderr io.Writer) int {
+	client := &http.Client{Timeout: o.Timeout}
+	base := strings.TrimRight(o.BaseURL, "/")
+
+	if o.In != "" {
+		var r io.Reader = stdin
+		if o.In != "-" {
+			f, err := os.Open(o.In)
+			if err != nil {
+				return fail(stderr, "sesrun", err)
+			}
+			defer f.Close()
+			r = f
+		}
+		req, err := http.NewRequest(http.MethodPut, base+"/instances/"+o.Instance, r)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		var info seio.InstanceInfo
+		if err := doJSON(client, req, &info); err != nil {
+			return fail(stderr, "sesrun", fmt.Errorf("upload instance: %w", err))
+		}
+		fmt.Fprintf(stdout, "uploaded %s v%d (|E|=%d |T|=%d |U|=%d)\n",
+			info.Name, info.Version, info.Events, info.Intervals, info.Users)
+	}
+
+	body, err := json.Marshal(seio.JobRequest{Algorithms: o.Algos, Ks: o.Ks, Seed: o.Seed})
+	if err != nil {
+		return fail(stderr, "sesrun", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/instances/"+o.Instance+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return fail(stderr, "sesrun", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var status seio.JobStatusMsg
+	if err := doJSON(client, req, &status); err != nil {
+		return fail(stderr, "sesrun", fmt.Errorf("submit job: %w", err))
+	}
+	total := len(status.Cells)
+	fmt.Fprintf(stdout, "submitted %s: %d cells (%s × k=%v) against %s v%d\n",
+		status.ID, total, strings.Join(o.Algos, ","), o.Ks, status.Instance.Name, status.Instance.Version)
+
+	deadline := time.Now().Add(o.Timeout)
+	lastDone := -1
+	for status.Status == seio.JobRunning {
+		if time.Now().After(deadline) {
+			return fail(stderr, "sesrun", fmt.Errorf("job %s still running after %v (poll it yourself: GET %s/jobs/%s)",
+				status.ID, o.Timeout, base, status.ID))
+		}
+		time.Sleep(o.Poll)
+		req, err := http.NewRequest(http.MethodGet, base+"/jobs/"+status.ID, nil)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		if err := doJSON(client, req, &status); err != nil {
+			return fail(stderr, "sesrun", fmt.Errorf("poll job: %w", err))
+		}
+		if done := status.Counts.Done + status.Counts.Failed + status.Counts.Cancelled; done != lastDone {
+			lastDone = done
+			fmt.Fprintf(stdout, "  %d/%d cells finished (%d running)\n", done, total, status.Counts.Running)
+		}
+	}
+	fmt.Fprintf(stdout, "job %s %s in %.1fms\n", status.ID, status.Status, status.ElapsedMS)
+
+	// Aggregate the done cells into experiment rows and render the grid
+	// the way sesbench renders a figure: one table per metric.
+	var rows []exp.Row
+	bad := 0
+	for _, c := range status.Cells {
+		if c.State != seio.CellDone {
+			bad++
+			fmt.Fprintf(stderr, "sesrun: cell %s k=%d %s: %s\n", c.Algorithm, c.K, c.State, c.Error)
+			continue
+		}
+		rows = append(rows, exp.Row{
+			Figure:       "batch",
+			Dataset:      status.Instance.Name,
+			Algorithm:    c.Algorithm,
+			XName:        "k",
+			X:            c.K,
+			K:            c.K,
+			Events:       status.Instance.Events,
+			Intervals:    status.Instance.Intervals,
+			Users:        status.Instance.Users,
+			Utility:      c.Result.Schedule.Utility,
+			ScoreEvals:   c.Result.ScoreEvals,
+			Computations: c.Result.ScoreEvals * int64(status.Instance.Users),
+			Examined:     c.Result.Examined,
+			Elapsed:      time.Duration(c.Result.ElapsedMS * float64(time.Millisecond)),
+		})
+	}
+	for _, metric := range []string{"utility", "time"} {
+		tbl, err := exp.RenderTables(rows, metric)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		fmt.Fprint(stdout, tbl)
+	}
+	if bad > 0 {
+		return fail(stderr, "sesrun", fmt.Errorf("%d of %d cells did not complete", bad, total))
+	}
+	return 0
+}
+
+// doJSON issues req, fails on non-2xx (decoding the server's error body) and
+// decodes a 2xx response into out.
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e seio.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}

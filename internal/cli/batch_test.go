@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+	"repro/internal/seio"
+	"repro/internal/server"
+)
+
+// TestSesrunBatch drives the full async pipeline in-process: sesrun -batch
+// uploads an instance to a live sesd handler, submits a sweep job, polls it
+// to completion and renders the grid. The printed utilities must match
+// running the algorithms directly.
+func TestSesrunBatch(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, Queue: 8})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	inst, err := dataset.Generate(dataset.DefaultConfig(4, 40, dataset.Zipf2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seio.WriteInstance(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errb bytes.Buffer
+	code := Sesrun(nil, []string{
+		"-batch", ts.URL, "-instance", "fest", "-in", path,
+		"-algos", "ALG,HOR", "-ks", "3,4", "-poll", "5ms",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, frag := range []string{
+		"uploaded fest v1", "submitted job-1: 4 cells", "job job-1 done",
+		"utility vs k", "time vs k", "ALG", "HOR",
+	} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("batch output missing %q:\n%s", frag, out.String())
+		}
+	}
+	// The rendered utility grid must carry the real in-process values
+	// (formatted with the table renderer's %.2f).
+	for _, k := range []int{3, 4} {
+		res, err := algo.ALG{}.Schedule(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%.2f", res.Utility)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batch grid missing ALG k=%d utility %s:\n%s", k, want, out.String())
+		}
+	}
+
+	// Stdin upload path: "-" reads the instance from stdin.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code = Sesrun(bytes.NewReader(data), []string{
+		"-batch", ts.URL, "-instance", "fest2", "-in", "-", "-algos", "HOR", "-ks", "2", "-poll", "5ms",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("stdin batch exit %d: %s", code, errb.String())
+	}
+
+	// Skipping the upload (-in "") reuses the server-side instance; the
+	// algorithm and k lists tolerate whitespace around the commas.
+	out.Reset()
+	code = Sesrun(nil, []string{
+		"-batch", ts.URL, "-instance", "fest", "-in", "", "-algos", "HOR, ALG", "-ks", " 3 , 4", "-poll", "5ms",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("no-upload batch exit %d: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "uploaded") {
+		t.Error("-in '' still uploaded an instance")
+	}
+}
+
+// TestSesrunBatchErrors covers the client-side failure paths.
+func TestSesrunBatchErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	// Bad k list.
+	if code := Sesrun(nil, []string{"-batch", "http://127.0.0.1:1", "-ks", "x"}, &out, &errb); code != 1 {
+		t.Errorf("bad ks: exit %d, want 1", code)
+	}
+	// Unreachable server.
+	if code := Sesrun(nil, []string{"-batch", "http://127.0.0.1:1", "-in", "", "-ks", "3"}, &out, &errb); code != 1 {
+		t.Errorf("unreachable server: exit %d, want 1", code)
+	}
+	// Server-side rejection surfaces the error body.
+	srv := server.New(server.Config{Workers: 1, Queue: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	errb.Reset()
+	if code := Sesrun(nil, []string{"-batch", ts.URL, "-instance", "none", "-in", "", "-ks", "3"}, &out, &errb); code != 1 {
+		t.Errorf("missing instance: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "not found") {
+		t.Errorf("server error not surfaced: %s", errb.String())
+	}
+}

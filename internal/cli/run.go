@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/core"
@@ -13,12 +15,14 @@ import (
 )
 
 // Sesrun schedules an SES instance read from JSON and reports the schedule,
-// its expected attendance and the work performed.
+// its expected attendance and the work performed. With -batch it turns into
+// a jobs-API client: upload the instance to a running sesd, submit an
+// asynchronous algorithm × k sweep, poll it and render the resulting grid.
 func Sesrun(stdin io.Reader, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sesrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in       = fs.String("in", "-", "instance JSON file ('-' = stdin)")
+		in       = fs.String("in", "-", "instance JSON file ('-' = stdin; with -batch, '' skips the upload)")
 		algoName = fs.String("algo", "HOR-I", "algorithm: ALG|INC|HOR|HOR-I|TOP|RAND")
 		k        = fs.Int("k", 10, "number of events to schedule")
 		out      = fs.String("o", "", "write the schedule as JSON to this file")
@@ -26,9 +30,35 @@ func Sesrun(stdin io.Reader, args []string, stdout, stderr io.Writer) int {
 		simulate = fs.Int("simulate", 0, "cross-check Ω with this many Monte-Carlo trials")
 		workers  = fs.Int("workers", 0, "parallelize score computations across this many goroutines (large instances)")
 		quiet    = fs.Bool("q", false, "suppress the per-event table")
+
+		batch    = fs.String("batch", "", "sesd base URL: submit an async sweep job instead of solving locally")
+		instName = fs.String("instance", "sesrun", "server-side instance name (-batch)")
+		algos    = fs.String("algos", "ALG,INC,HOR,HOR-I", "comma-separated sweep algorithms (-batch)")
+		ks       = fs.String("ks", "", "comma-separated sweep k values (-batch; default: -k)")
+		poll     = fs.Duration("poll", 150*time.Millisecond, "job poll interval (-batch)")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "overall sweep deadline (-batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *batch != "" {
+		if *ks == "" {
+			*ks = strconv.Itoa(*k)
+		}
+		kList, err := parseKs(*ks)
+		if err != nil {
+			return fail(stderr, "sesrun", err)
+		}
+		return batchSweep(stdin, batchOptions{
+			BaseURL:  *batch,
+			Instance: *instName,
+			In:       *in,
+			Algos:    parseList(*algos),
+			Ks:       kList,
+			Seed:     *seed,
+			Poll:     *poll,
+			Timeout:  *timeout,
+		}, stdout, stderr)
 	}
 	var r io.Reader = stdin
 	if *in != "-" {

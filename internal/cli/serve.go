@@ -22,15 +22,20 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sesd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue   = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
-		cache   = fs.Int("cache", 256, "result cache capacity (entries)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
+		cache    = fs.Int("cache", 256, "result cache capacity (entries)")
+		jobTTL   = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
+		jobCells = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	srv := server.New(server.Config{Workers: *workers, Queue: *queue, CacheSize: *cache})
+	srv := server.New(server.Config{
+		Workers: *workers, Queue: *queue, CacheSize: *cache,
+		JobTTL: *jobTTL, MaxJobCells: *jobCells,
+	})
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)

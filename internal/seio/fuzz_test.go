@@ -1,0 +1,144 @@
+package seio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// fuzz seeds: the corpus mirrors what the repo itself produces — the paper's
+// running example (the instance examples/quickstart builds) and a generated
+// synthetic dataset — plus handcrafted documents probing each validation
+// branch (dimension lies, huge declared sizes, truncation).
+
+func seedInstances(t interface {
+	Helper()
+	Fatal(...any)
+}) [][]byte {
+	t.Helper()
+	var seeds [][]byte
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, core.RunningExample()); err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+	inst, err := dataset.Generate(dataset.DefaultConfig(3, 8, dataset.Zipf2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+	return seeds
+}
+
+func FuzzReadInstance(f *testing.F) {
+	for _, s := range seedInstances(f) {
+		f.Add(s)
+	}
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"version":1}`))
+	// Dimension lies: a huge declared user count with a tiny body must be
+	// rejected by the cheap shape checks, not by attempting the matrix
+	// allocation.
+	f.Add([]byte(`{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1000000000,"interest":[[0]],"activity":[[0]]}`))
+	f.Add([]byte(`{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"interest":[[0],[0,0,0]],"activity":[[0],[0]]}`))
+	f.Add([]byte(`{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"competing":[{"interval":9}],"num_users":1,"interest":[[0,0]],"activity":[[0]]}`))
+	f.Add([]byte(`{"version":1,"theta":-1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[2]],"activity":[[0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is always fine; panicking is the bug
+		}
+		// An accepted instance must satisfy the model invariants and
+		// survive a round trip.
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("ReadInstance accepted an invalid instance: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteInstance(&out, inst); err != nil {
+			t.Fatalf("accepted instance does not re-encode: %v", err)
+		}
+		if _, err := ReadInstance(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-encoded instance does not re-parse: %v", err)
+		}
+	})
+}
+
+func FuzzReadSchedule(f *testing.F) {
+	inst := core.RunningExample()
+	// A real schedule document as produced by sesrun -o.
+	s := core.NewSchedule(inst)
+	if err := s.Assign(0, 0); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, inst, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"assignments":[{"event":99,"interval":0}]}`))
+	f.Add([]byte(`{"version":1,"assignments":[{"event":-1,"interval":-7}]}`))
+	f.Add([]byte(`{"version":1,"assignments":[{"event":0,"interval":0},{"event":0,"interval":1}]}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst := core.RunningExample()
+		sched, err := ReadSchedule(bytes.NewReader(data), inst)
+		if err != nil {
+			return
+		}
+		// Replay re-validates assignment by assignment, so an accepted
+		// schedule must be feasible.
+		if err := sched.CheckFeasible(); err != nil {
+			t.Fatalf("ReadSchedule accepted an infeasible schedule: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteSchedule(&out, inst, sched); err != nil {
+			t.Fatalf("accepted schedule does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzWireMessages decodes fuzz data as each HTTP wire message of the sesd
+// API and exercises the logic that follows a successful decode (the same
+// paths the HTTP handlers run after decodeBody).
+func FuzzWireMessages(f *testing.F) {
+	add := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	add(SolveRequest{Algorithm: "HOR-I", K: 10, Seed: 3})
+	add(ExtendRequest{Base: []AssignmentMsg{{Event: 0, Interval: 1}}, Extra: 2})
+	add(MutateRequest{Interest: []CellUpdate{{User: 0, Index: 1, Value: 0.5}}})
+	add(JobRequest{Algorithms: []string{"ALG", "HOR"}, Ks: []int{4, 8}})
+	add(ScheduleMsg{Version: FormatVersion, Assignments: []AssignmentMsg{{Event: 1, Interval: 0}}})
+	f.Add([]byte(`{"assignments":[{"event":18446744073709551615}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var solve SolveRequest
+		_ = json.Unmarshal(data, &solve)
+		var extend ExtendRequest
+		_ = json.Unmarshal(data, &extend)
+		var mutate MutateRequest
+		if json.Unmarshal(data, &mutate) == nil {
+			_ = mutate.Empty()
+		}
+		var job JobRequest
+		_ = json.Unmarshal(data, &job)
+		var sm ScheduleMsg
+		if json.Unmarshal(data, &sm) == nil {
+			if s, err := sm.Replay(core.RunningExample()); err == nil {
+				if err := s.CheckFeasible(); err != nil {
+					t.Fatalf("Replay accepted an infeasible schedule: %v", err)
+				}
+			}
+		}
+	})
+}

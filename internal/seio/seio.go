@@ -118,22 +118,28 @@ func ReadInstance(r io.Reader) (*core.Instance, error) {
 	for i, c := range ij.Competing {
 		competing[i] = core.Competing{Name: c.Name, Interval: c.Interval, Start: c.Start, End: c.End}
 	}
-	inst, err := core.NewInstance(events, intervals, competing, ij.NumUsers, ij.Theta)
-	if err != nil {
-		return nil, fmt.Errorf("seio: %w", err)
-	}
+	// Validate the matrix shape BEFORE allocating the instance: the
+	// allocation is O(num_users × (|E|+|C|)), so a hostile document
+	// declaring huge dimensions with a tiny body must fail on the cheap
+	// checks instead of committing gigabytes first.
 	if len(ij.Interest) != ij.NumUsers || len(ij.Activity) != ij.NumUsers {
 		return nil, fmt.Errorf("seio: matrix rows (%d interest, %d activity) do not match %d users",
 			len(ij.Interest), len(ij.Activity), ij.NumUsers)
 	}
 	wantI := len(events) + len(competing)
-	for u := 0; u < ij.NumUsers; u++ {
+	for u := range ij.Interest {
 		if len(ij.Interest[u]) != wantI {
 			return nil, fmt.Errorf("seio: interest row %d has %d values, want %d", u, len(ij.Interest[u]), wantI)
 		}
 		if len(ij.Activity[u]) != len(intervals) {
 			return nil, fmt.Errorf("seio: activity row %d has %d values, want %d", u, len(ij.Activity[u]), len(intervals))
 		}
+	}
+	inst, err := core.NewInstance(events, intervals, competing, ij.NumUsers, ij.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("seio: %w", err)
+	}
+	for u := 0; u < ij.NumUsers; u++ {
 		inst.SetInterestRow(u, ij.Interest[u])
 		inst.SetActivityRow(u, ij.Activity[u])
 	}

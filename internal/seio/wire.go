@@ -137,6 +137,84 @@ type SummarizeResponse struct {
 	Text string `json:"text"`
 }
 
+// Job statuses. A job is running while any cell is queued or running;
+// cancelled once cancellation stopped at least one cell; done otherwise
+// (individual cells may still have failed — their errors are per-cell).
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobCancelled = "cancelled"
+)
+
+// Cell states of one sweep cell (algorithm × k).
+const (
+	CellQueued    = "queued"
+	CellRunning   = "running"
+	CellDone      = "done"
+	CellFailed    = "failed"
+	CellCancelled = "cancelled"
+)
+
+// JobRequest is the body of POST /instances/{name}/jobs: submit an
+// asynchronous sweep of algorithms × k values over the instance's current
+// version. The job pins that version's snapshot, so later mutations never
+// leak into a running sweep and every cell answers exactly what a
+// synchronous solve at submit time would have.
+type JobRequest struct {
+	// Algorithms lists the sweep's methods; empty selects the four paper
+	// algorithms (ALG, INC, HOR, HOR-I).
+	Algorithms []string `json:"algorithms,omitempty"`
+	// Ks lists the k values; every algorithm × k pair becomes one cell.
+	Ks []int `json:"ks"`
+	// Seed only affects RAND cells.
+	Seed uint64 `json:"seed,omitempty"`
+	// UserWeights / EventCosts enable the Section 2.1 problem extensions
+	// for every cell of the sweep.
+	UserWeights []float64 `json:"user_weights,omitempty"`
+	EventCosts  []float64 `json:"event_costs,omitempty"`
+}
+
+// JobCellMsg is the wire view of one sweep cell. Result is present once the
+// cell is done — polling a running job returns the done cells' results
+// immediately (partial results).
+type JobCellMsg struct {
+	Algorithm string `json:"algorithm"`
+	K         int    `json:"k"`
+	State     string `json:"state"`
+	// Error reports why a failed or cancelled cell stopped.
+	Error  string         `json:"error,omitempty"`
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// JobCounts aggregates cell states for at-a-glance polling.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Active returns the number of cells still queued or running.
+func (c JobCounts) Active() int { return c.Queued + c.Running }
+
+// JobStatusMsg is the body returned by job submit, poll and cancel.
+type JobStatusMsg struct {
+	ID       string       `json:"id"`
+	Instance InstanceInfo `json:"instance"`
+	Status   string       `json:"status"`
+	Counts   JobCounts    `json:"counts"`
+	// ElapsedMS measures submit → finish (or submit → now while running).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Cells is populated by GET /jobs/{id} and omitted from the listing.
+	Cells []JobCellMsg `json:"cells,omitempty"`
+}
+
+// JobListResponse is the body of GET /jobs.
+type JobListResponse struct {
+	Jobs []JobStatusMsg `json:"jobs"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

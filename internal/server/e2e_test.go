@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/seio"
+)
+
+// TestEndToEndSolveMatchesInProcess closes the loop the lifecycle test
+// leaves open: the utilities, schedules and work counters returned over HTTP
+// must be bitwise-identical to running the algo package directly on the
+// same bytes. The in-process baseline decodes the identical upload body, so
+// any drift introduced by the wire format, the store snapshot or the handler
+// plumbing fails the equality.
+func TestEndToEndSolveMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 16})
+	c := ts.Client()
+
+	body := testInstanceJSON(t, 5, 60, 21)
+	do(t, c, "PUT", ts.URL+"/instances/e2e", body, http.StatusCreated, nil)
+
+	// The server stores what it decoded from the upload; decode the same
+	// bytes locally to solve on identical matrices.
+	local, err := seio.ReadInstance(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 5
+	for _, name := range []string{"ALG", "INC", "HOR", "HOR-I"} {
+		sched, err := algo.New(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sched.Schedule(local, k)
+		if err != nil {
+			t.Fatalf("%s in-process: %v", name, err)
+		}
+		var got seio.SolveResponse
+		do(t, c, "POST", ts.URL+"/instances/e2e/solve",
+			jsonBody(t, seio.SolveRequest{Algorithm: name, K: k}), http.StatusOK, &got)
+
+		if got.Schedule.Utility != want.Utility {
+			t.Errorf("%s: HTTP utility %v != in-process %v", name, got.Schedule.Utility, want.Utility)
+		}
+		if got.ScoreEvals != want.ScoreEvals || got.Examined != want.Examined {
+			t.Errorf("%s: HTTP counters (%d, %d) != in-process (%d, %d)",
+				name, got.ScoreEvals, got.Examined, want.ScoreEvals, want.Examined)
+		}
+		wantAssign := want.Schedule.Assignments()
+		if len(got.Schedule.Assignments) != len(wantAssign) {
+			t.Fatalf("%s: HTTP schedule has %d assignments, in-process %d",
+				name, len(got.Schedule.Assignments), len(wantAssign))
+		}
+		for i, a := range got.Schedule.Assignments {
+			if a.Event != wantAssign[i].Event || a.Interval != wantAssign[i].Interval {
+				t.Errorf("%s: assignment %d is e%d→t%d over HTTP, e%d→t%d in-process",
+					name, i, a.Event, a.Interval, wantAssign[i].Event, wantAssign[i].Interval)
+			}
+		}
+	}
+}

@@ -220,17 +220,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, storeErrCode(err), err)
 		return
 	}
-	// Deterministic algorithms share cache entries across client seeds.
-	seedKey := uint64(0)
-	if req.Algorithm == "RAND" {
-		seedKey = req.Seed
-	}
 	key := cacheKey{
 		name:      name,
 		version:   info.Version,
 		algorithm: req.Algorithm,
 		k:         req.K,
-		seed:      seedKey,
+		seed:      seedKeyFor(req.Algorithm, req.Seed),
 		opts:      optsFingerprint(req.UserWeights, req.EventCosts),
 	}
 	if resp, ok := s.cache.Get(key); ok {
@@ -243,7 +238,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		slvErr error
 	)
 	if !s.runPooled(w, r, func() {
-		res, err := sched.Schedule(inst, req.K)
+		// The request's context rides into the solver: a client that
+		// disconnects mid-solve frees its worker at the next periodic
+		// cancellation check instead of holding it to completion.
+		res, err := sched.ScheduleCtx(r.Context(), inst, req.K)
 		if err != nil {
 			slvErr = err
 			return
@@ -302,7 +300,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		extErr error
 	)
 	if !s.runPooled(w, r, func() {
-		res, err := algo.Extend(inst, base, req.Extra, opts)
+		res, err := algo.ExtendCtx(r.Context(), inst, base, req.Extra, opts)
 		if err != nil {
 			extErr = err
 			return

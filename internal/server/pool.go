@@ -110,6 +110,29 @@ func (p *Pool) Submit(ctx context.Context, run func()) error {
 	}
 }
 
+// SubmitWait enqueues run, blocking until a queue slot frees up or ctx is
+// cancelled. It is the submission path of job dispatchers, which own a
+// goroutine and therefore want the queue's backpressure to pace them rather
+// than fail them. Blocking while holding the read lock is safe: Close only
+// closes the channel after taking the write lock, and until then the workers
+// keep draining the queue, so a blocked send always makes progress.
+func (p *Pool) SubmitWait(ctx context.Context, run func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job{ctx: ctx, run: run}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Close stops accepting work and waits for queued jobs to drain. It is
 // idempotent.
 func (p *Pool) Close() {

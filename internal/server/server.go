@@ -25,6 +25,12 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies; default 256 MiB (a 1M-user
 	// instance upload is large). Exceeding it fails the decode with 400.
 	MaxBodyBytes int64
+	// JobTTL is how long finished sweep jobs stay pollable before the
+	// store retires them; default 15 minutes.
+	JobTTL time.Duration
+	// MaxJobCells bounds the grid size (algorithms × k values) of one
+	// sweep job; default 256.
+	MaxJobCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +46,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxJobCells <= 0 {
+		c.MaxJobCells = 256
+	}
 	return c
 }
 
@@ -48,15 +60,17 @@ func (c Config) withDefaults() Config {
 var routes = []string{
 	"healthz", "stats", "list_instances", "put_instance", "get_instance",
 	"delete_instance", "mutate_instance", "solve", "extend", "simulate",
-	"summarize",
+	"summarize", "submit_job", "get_job", "list_jobs", "cancel_job",
 }
 
-// Server is the sesd HTTP service: store + pool + cache behind a ServeMux.
+// Server is the sesd HTTP service: store + pool + cache + async jobs behind
+// a ServeMux.
 type Server struct {
 	cfg   Config
 	store *Store
 	pool  *Pool
 	cache *Cache
+	jobs  *Jobs
 	mux   *http.ServeMux
 
 	started time.Time
@@ -77,6 +91,7 @@ func New(cfg Config) *Server {
 		store:   NewStore(),
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		cache:   NewCache(cfg.CacheSize),
+		jobs:    NewJobs(cfg.JobTTL),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
@@ -95,6 +110,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /instances/{name}/extend", s.handleExtend)
 	s.mux.HandleFunc("POST /instances/{name}/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /instances/{name}/summarize", s.handleSummarize)
+	s.mux.HandleFunc("POST /instances/{name}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
 	return s
 }
 
@@ -103,8 +122,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close drains the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close cancels every async job, waits for their dispatchers, then drains
+// the worker pool (running cells observe their cancelled contexts and stop
+// at the next periodic check).
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.pool.Close()
+}
 
 // count bumps the request counter of the named route.
 func (s *Server) count(route string) { s.counts[route].Add(1) }
@@ -116,6 +140,7 @@ type Stats struct {
 	Requests      map[string]int64 `json:"requests"`
 	Cache         CacheStats       `json:"cache"`
 	Pool          PoolStats        `json:"pool"`
+	Jobs          JobsStats        `json:"jobs"`
 	Work          WorkStats        `json:"work"`
 }
 
@@ -137,6 +162,7 @@ func (s *Server) Snapshot() Stats {
 		Requests:      req,
 		Cache:         s.cache.Stats(),
 		Pool:          s.pool.Stats(),
+		Jobs:          s.jobs.Stats(),
 		Work: WorkStats{
 			ScoreEvals: s.scoreEvals.Load(),
 			Examined:   s.examined.Load(),
