@@ -12,12 +12,14 @@ package ses
 // per-interval denominator cache, and the cost of the horizontal worst case.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/score"
 )
 
 // benchUsers keeps the suite fast while preserving the |U|-dominated cost
@@ -322,8 +324,8 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelScore — the Workers option's break-even: one Eq. 4
-// evaluation over 100K users, sequential vs fanned out.
+// BenchmarkParallelScore — the engine's single-evaluation break-even: one
+// Eq. 4 evaluation over 100K users, sequential vs user-sharded.
 func BenchmarkParallelScore(b *testing.B) {
 	inst := benchInstance(b, "Unf", dataset.Params{K: 4, NumUsers: 100_000, Seed: 1})
 	s := core.NewSchedule(inst)
@@ -331,14 +333,44 @@ func BenchmarkParallelScore(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
-		sc, err := core.NewScorerWithOptions(inst, core.ScorerOptions{Workers: workers})
+		en, err := score.New(inst, core.ScorerOptions{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_ = sc.Score(s, 1, 0)
+				_ = en.Score(s, 1, 0)
 			}
 		})
+		en.Close()
+	}
+}
+
+// BenchmarkParallelBatch — the engine's frontier fan-out: scoring an
+// ALG-style |E|×|T| candidate grid in one ScoreBatch call, sequential vs
+// parallel. This is the shape of every scheduler's dominant phase.
+func BenchmarkParallelBatch(b *testing.B) {
+	inst := benchInstance(b, "Unf", dataset.Params{K: 8, NumUsers: 20_000, Seed: 1})
+	s := core.NewSchedule(inst)
+	var cands []score.Candidate
+	for e := 0; e < inst.NumEvents(); e++ {
+		for t := 0; t < inst.NumIntervals(); t++ {
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
+		}
+	}
+	out := make([]float64, len(cands))
+	for _, workers := range []int{1, 2, 4, 8} {
+		en, err := score.New(inst, core.ScorerOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := en.ScoreBatch(context.Background(), s, cands, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		en.Close()
 	}
 }

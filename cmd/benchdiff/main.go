@@ -1,0 +1,26 @@
+// Command benchdiff compares a fresh sesbench -json run against a checked-in
+// baseline and fails on regressions: missing rows, drift in the
+// deterministic metrics (utility, score evaluations, assignments examined),
+// or a >25% wall-time regression on any series above the noise floor. A
+// utility/time delta table is printed either way.
+//
+// CI runs it as the bench-regression gate:
+//
+//	go run ./cmd/sesbench -fig 10b -scale tiny -seed 1 -json > BENCH_fig10b_tiny.json
+//	go run ./cmd/sesbench -fig 5 -scale tiny -seed 1 -datasets Unf -json > BENCH_fig5_tiny.json
+//	benchdiff -baseline bench/baseline -fresh .
+//
+// To re-baseline after an intentional performance change, regenerate the
+// files into bench/baseline/ with the same commands and commit them (see
+// README "Performance & parallelism").
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Benchdiff(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // ALG is the greedy algorithm of Bikakis et al. (ICDE 2018), outlined in
@@ -15,9 +16,17 @@ import (
 // recompute from scratch the scores of every assignment bound to the
 // selected assignment's interval. Complexity (paper):
 // O(|U||C| + |E||T||U| + k|E||T| + k|E||U| − k²|T| − k²|U|).
+//
+// Both scoring phases are independent candidate frontiers — the initial
+// |E|×|T| grid and each selection's interval-column recompute — so each runs
+// as one engine batch fan-out.
 type ALG struct {
 	// Opts enables the Section 2.1 problem extensions.
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine to use (its instance
+	// must be the one scheduled); otherwise a private engine is built from
+	// Opts for the run.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -38,25 +47,34 @@ func (a ALG) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	en, release, err := engineFor(a.Engine, inst, a.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	s := core.NewSchedule(inst)
 	var c Counters
 
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	// Initial frontier: every (event, interval) pair, scored in one batch.
+	// The candidate order matches the score matrix layout, so the batch
+	// writes the matrix directly.
 	scores := make([]float64, nE*nT)
+	cands := make([]score.Candidate, 0, nE*nT)
 	for e := 0; e < nE; e++ {
 		for t := 0; t < nT; t++ {
-			scores[e*nT+t] = sc.Score(s, e, t)
-			c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
 		}
 	}
+	if err := en.ScoreBatch(g.ctx, s, cands, scores); err != nil {
+		return nil, err
+	}
+	c.ScoreEvals += int64(len(cands))
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
 
+	updVals := make([]float64, nE)
 	for s.Len() < k {
 		if err := g.point(); err != nil {
 			return nil, err
@@ -92,7 +110,9 @@ func (a ALG) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 			break // no selection follows, so no update is needed
 		}
 		// Update: recompute every available assignment of the selected
-		// interval against the new schedule state.
+		// interval against the new schedule state — one batch over the
+		// interval column.
+		upd := cands[:0]
 		for e := 0; e < nE; e++ {
 			if _, assigned := s.AssignedInterval(e); assigned {
 				continue
@@ -101,12 +121,18 @@ func (a ALG) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 			if !s.Feasible(e, bestT) {
 				continue
 			}
-			scores[e*nT+bestT] = sc.Score(s, e, bestT)
-			c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			upd = append(upd, score.Candidate{Event: e, Interval: bestT})
+		}
+		if err := en.ScoreBatch(g.ctx, s, upd, updVals); err != nil {
+			return nil, err
+		}
+		for i, cd := range upd {
+			scores[cd.Event*nT+bestT] = updVals[i]
+		}
+		c.ScoreEvals += int64(len(upd))
+		if err := g.batch(len(upd)); err != nil {
+			return nil, err
 		}
 	}
-	return finish(sc, s, c, start), nil
+	return finish(en, s, c, start), nil
 }

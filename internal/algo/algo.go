@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // Counters collects the work metrics of a scheduler run.
@@ -74,7 +75,8 @@ func New(name string, seed uint64) (Scheduler, error) {
 }
 
 // NewWithOptions returns the named scheduler with the Section 2.1 problem
-// extensions enabled (user weights, profit-oriented event costs).
+// extensions enabled (user weights, profit-oriented event costs) and, via
+// opts.Workers, parallel scoring.
 func NewWithOptions(name string, seed uint64, opts core.ScorerOptions) (Scheduler, error) {
 	switch name {
 	case "ALG":
@@ -91,6 +93,62 @@ func NewWithOptions(name string, seed uint64, opts core.ScorerOptions) (Schedule
 		return RAND{Seed: seed, Opts: opts}, nil
 	}
 	return nil, fmt.Errorf("algo: unknown scheduler %q", name)
+}
+
+// NewWithEngine returns the named scheduler bound to a shared scoring engine.
+// The engine pins the instance: ScheduleCtx fails if called with any other.
+// Sharing an engine amortizes its O(|U|·|C|) precompute and worker set across
+// runs — sesd binds one engine per instance version to every solve and sweep
+// cell of that version.
+func NewWithEngine(name string, seed uint64, en *score.Engine) (Scheduler, error) {
+	s, err := New(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return WithEngine(s, en), nil
+}
+
+// WithEngine rebinds one of the built-in schedulers to a shared engine.
+// Schedulers of unknown concrete types are returned unchanged.
+func WithEngine(s Scheduler, en *score.Engine) Scheduler {
+	switch v := s.(type) {
+	case ALG:
+		v.Engine = en
+		return v
+	case INC:
+		v.Engine = en
+		return v
+	case HOR:
+		v.Engine = en
+		return v
+	case HORI:
+		v.Engine = en
+		return v
+	case TOP:
+		v.Engine = en
+		return v
+	case RAND:
+		v.Engine = en
+		return v
+	}
+	return s
+}
+
+// engineFor resolves the engine a run scores with: the scheduler's shared
+// Engine when set (validated against inst), otherwise a private engine built
+// from opts whose workers the returned release func stops when the run ends.
+func engineFor(shared *score.Engine, inst *core.Instance, opts core.ScorerOptions) (*score.Engine, func(), error) {
+	if shared != nil {
+		if shared.Instance() != inst {
+			return nil, nil, errors.New("algo: scoring engine was built for a different instance")
+		}
+		return shared, func() {}, nil
+	}
+	en, err := score.New(inst, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return en, en.Close, nil
 }
 
 // Names lists the available scheduler names in the order the paper's plots
@@ -141,10 +199,10 @@ func sortItems(items []item) {
 }
 
 // finish assembles the Result shared by all schedulers.
-func finish(sc *core.Scorer, s *core.Schedule, c Counters, start time.Time) *Result {
+func finish(en *score.Engine, s *core.Schedule, c Counters, start time.Time) *Result {
 	return &Result{
 		Schedule: s,
-		Utility:  sc.Utility(s),
+		Utility:  en.Utility(s),
 		Counters: c,
 		Elapsed:  time.Since(start),
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/randx"
+	"repro/internal/score"
 )
 
 // TOP is the first baseline of the evaluation (Section 4.1): it scores every
@@ -19,6 +20,9 @@ import (
 type TOP struct {
 	// Opts enables the Section 2.1 problem extensions.
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine to use; otherwise a
+	// private engine is built from Opts for the run.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -39,10 +43,11 @@ func (a TOP) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	en, release, err := engineFor(a.Engine, inst, a.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	s := core.NewSchedule(inst)
 	var c Counters
 
@@ -51,15 +56,25 @@ func (a TOP) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 		item
 		t int
 	}
-	all := make([]pair, 0, nE*nT)
+	// TOP's entire score work is one frontier: every (event, interval) pair
+	// against the empty schedule, scored in a single batch fan-out.
+	cands := make([]score.Candidate, 0, nE*nT)
 	for e := 0; e < nE; e++ {
 		for t := 0; t < nT; t++ {
-			all = append(all, pair{item{e: int32(e), score: sc.Score(s, e, t)}, t})
-			c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
 		}
+	}
+	vals := make([]float64, len(cands))
+	if err := en.ScoreBatch(g.ctx, s, cands, vals); err != nil {
+		return nil, err
+	}
+	c.ScoreEvals += int64(len(cands))
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
+	all := make([]pair, 0, nE*nT)
+	for i, cd := range cands {
+		all = append(all, pair{item{e: int32(cd.Event), score: vals[i]}, cd.Interval})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		return betterFull(all[i].score, all[i].e, all[i].t, all[j].score, all[j].e, all[j].t)
@@ -81,7 +96,7 @@ func (a TOP) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 			}
 		}
 	}
-	return finish(sc, s, c, start), nil
+	return finish(en, s, c, start), nil
 }
 
 // RAND is the second baseline (Section 4.1): it assigns events to intervals
@@ -94,6 +109,9 @@ type RAND struct {
 	// Opts enables the Section 2.1 problem extensions (they only affect
 	// the reported utility: RAND never scores assignments).
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine; RAND only uses it to
+	// report the final utility.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -114,10 +132,11 @@ func (r RAND) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Res
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, r.Opts)
+	en, release, err := engineFor(r.Engine, inst, r.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	s := core.NewSchedule(inst)
 	var c Counters
 
@@ -144,5 +163,5 @@ func (r RAND) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Res
 			}
 		}
 	}
-	return finish(sc, s, c, start), nil
+	return finish(en, s, c, start), nil
 }

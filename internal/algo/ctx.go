@@ -55,6 +55,14 @@ func (g *guard) step() error {
 	return nil
 }
 
+// batch accounts n score evaluations performed by one engine fan-out
+// (score.Engine.ScoreBatch polls the context itself while it runs) and polls
+// the context once more, preserving step's cadence for the loops that follow.
+func (g *guard) batch(n int) error {
+	g.n += uint(n)
+	return g.ctx.Err()
+}
+
 // selected reports one completed selection and polls the context, so a
 // cancellation raised by the callback itself is honored before any further
 // work starts.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // Extend grows an existing feasible schedule by up to extra greedy
@@ -25,41 +26,75 @@ func Extend(inst *core.Instance, base *core.Schedule, extra int, opts core.Score
 // ExtendCtx is Extend with the same cooperative cancellation and progress
 // contract as Scheduler.ScheduleCtx.
 func ExtendCtx(ctx context.Context, inst *core.Instance, base *core.Schedule, extra int, opts core.ScorerOptions) (*Result, error) {
+	if err := checkExtend(inst, base, extra); err != nil {
+		return nil, err
+	}
+	en, err := score.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
+	return extendWith(ctx, en, base, extra)
+}
+
+// ExtendWithEngine is ExtendCtx against a shared scoring engine (which pins
+// the instance), the form sesd uses so extends of one instance version reuse
+// the version's engine.
+func ExtendWithEngine(ctx context.Context, en *score.Engine, base *core.Schedule, extra int) (*Result, error) {
+	if err := checkExtend(en.Instance(), base, extra); err != nil {
+		return nil, err
+	}
+	return extendWith(ctx, en, base, extra)
+}
+
+func checkExtend(inst *core.Instance, base *core.Schedule, extra int) error {
 	if extra <= 0 {
-		return nil, ErrBadK
+		return ErrBadK
 	}
 	if base == nil {
-		return nil, errors.New("algo: Extend needs a base schedule (use NewSchedule for an empty one)")
+		return errors.New("algo: Extend needs a base schedule (use NewSchedule for an empty one)")
 	}
 	if base.Instance() != inst {
-		return nil, errors.New("algo: base schedule belongs to a different instance")
+		return errors.New("algo: base schedule belongs to a different instance")
 	}
+	return nil
+}
+
+func extendWith(ctx context.Context, en *score.Engine, base *core.Schedule, extra int) (*Result, error) {
+	inst := en.Instance()
 	g := newGuard(ctx, extra)
 	if err := g.point(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, opts)
-	if err != nil {
-		return nil, err
-	}
 	s := base.Clone()
 	var c Counters
 
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	// Initial frontier: every interval of every still-unassigned event,
+	// scored against the base schedule in one batch.
 	scores := make([]float64, nE*nT)
+	cands := make([]score.Candidate, 0, nE*nT)
 	for e := 0; e < nE; e++ {
 		if _, taken := s.AssignedInterval(e); taken {
 			continue
 		}
 		for t := 0; t < nT; t++ {
-			scores[e*nT+t] = sc.Score(s, e, t)
-			c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
 		}
 	}
+	vals := make([]float64, len(cands))
+	if err := en.ScoreBatch(g.ctx, s, cands, vals); err != nil {
+		return nil, err
+	}
+	for i, cd := range cands {
+		scores[cd.Event*nT+cd.Interval] = vals[i]
+	}
+	c.ScoreEvals += int64(len(cands))
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
+
 	target := s.Len() + extra
 	for s.Len() < target {
 		bestE, bestT := -1, -1
@@ -91,6 +126,8 @@ func ExtendCtx(ctx context.Context, inst *core.Instance, base *core.Schedule, ex
 		if s.Len() >= target {
 			break
 		}
+		// Recompute the selected interval's column in one batch.
+		upd := cands[:0]
 		for e := 0; e < nE; e++ {
 			if _, taken := s.AssignedInterval(e); taken {
 				continue
@@ -98,12 +135,18 @@ func ExtendCtx(ctx context.Context, inst *core.Instance, base *core.Schedule, ex
 			if !s.Feasible(e, bestT) {
 				continue
 			}
-			scores[e*nT+bestT] = sc.Score(s, e, bestT)
-			c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			upd = append(upd, score.Candidate{Event: e, Interval: bestT})
+		}
+		if err := en.ScoreBatch(g.ctx, s, upd, vals); err != nil {
+			return nil, err
+		}
+		for i, cd := range upd {
+			scores[cd.Event*nT+bestT] = vals[i]
+		}
+		c.ScoreEvals += int64(len(upd))
+		if err := g.batch(len(upd)); err != nil {
+			return nil, err
 		}
 	}
-	return finish(sc, s, c, start), nil
+	return finish(en, s, c, start), nil
 }

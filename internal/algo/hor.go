@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // HOR is the Horizontal Assignment algorithm (Section 3.3, Algorithm 2).
@@ -19,6 +20,9 @@ import (
 type HOR struct {
 	// Opts enables the Section 2.1 problem extensions.
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine to use; otherwise a
+	// private engine is built from Opts for the run.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -39,29 +43,45 @@ func (a HOR) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	en, release, err := engineFor(a.Engine, inst, a.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	s := core.NewSchedule(inst)
 	var c Counters
 
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
 	lists := make([][]item, nT)
+	cands := make([]score.Candidate, 0, nE*nT)
+	vals := make([]float64, nE*nT)
+	starts := make([]int, nT+1)
 	for s.Len() < k {
 		// Layer start: regenerate and score every valid assignment
-		// (Algorithm 2, lines 3-8).
+		// (Algorithm 2, lines 3-8). The whole layer frontier — every valid
+		// assignment across every interval — is one batch fan-out.
+		cands = cands[:0]
 		for t := 0; t < nT; t++ {
-			items := lists[t][:0]
+			starts[t] = len(cands)
 			for e := 0; e < nE; e++ {
 				if !s.Valid(e, t) {
 					continue
 				}
-				items = append(items, item{e: int32(e), score: sc.Score(s, e, t), updated: true})
-				c.ScoreEvals++
-				if err := g.step(); err != nil {
-					return nil, err
-				}
+				cands = append(cands, score.Candidate{Event: e, Interval: t})
+			}
+		}
+		starts[nT] = len(cands)
+		if err := en.ScoreBatch(g.ctx, s, cands, vals); err != nil {
+			return nil, err
+		}
+		c.ScoreEvals += int64(len(cands))
+		if err := g.batch(len(cands)); err != nil {
+			return nil, err
+		}
+		for t := 0; t < nT; t++ {
+			items := lists[t][:0]
+			for i := starts[t]; i < starts[t+1]; i++ {
+				items = append(items, item{e: int32(cands[i].Event), score: vals[i], updated: true})
 			}
 			sortItems(items)
 			lists[t] = items
@@ -74,7 +94,7 @@ func (a HOR) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 			break // no valid assignment anywhere: k is unreachable
 		}
 	}
-	return finish(sc, s, c, start), nil
+	return finish(en, s, c, start), nil
 }
 
 // horSelectLayer runs the horizontal selection of one layer (Algorithm 2,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // HORI is the Horizontal Assignment with Incremental Updating algorithm
@@ -22,6 +23,9 @@ import (
 type HORI struct {
 	// Opts enables the Section 2.1 problem extensions.
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine to use; otherwise a
+	// private engine is built from Opts for the run.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -29,7 +33,7 @@ func (HORI) Name() string { return "HOR-I" }
 
 type horiState struct {
 	inst  *core.Instance
-	sc    *core.Scorer
+	en    *score.Engine
 	s     *core.Schedule
 	lists [][]item
 	// dirty[t] marks interval t as possibly holding stale entries;
@@ -54,13 +58,14 @@ func (a HORI) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Res
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	en, release, err := engineFor(a.Engine, inst, a.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	st := &horiState{
 		inst:  inst,
-		sc:    sc,
+		en:    en,
 		s:     core.NewSchedule(inst),
 		lists: make([][]item, inst.NumIntervals()),
 		dirty: make([]bool, inst.NumIntervals()),
@@ -69,18 +74,31 @@ func (a HORI) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Res
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
 
 	// First layer: generate and score everything, like HOR
-	// (Algorithm 3, lines 3-7).
+	// (Algorithm 3, lines 3-7) — the full frontier in one batch fan-out.
+	cands := make([]score.Candidate, 0, nE*nT)
+	starts := make([]int, nT+1)
 	for t := 0; t < nT; t++ {
-		items := make([]item, 0, nE)
+		starts[t] = len(cands)
 		for e := 0; e < nE; e++ {
 			if !st.s.Valid(e, t) {
 				continue
 			}
-			items = append(items, item{e: int32(e), score: st.sc.Score(st.s, e, t), updated: true})
-			st.c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
+		}
+	}
+	starts[nT] = len(cands)
+	vals := make([]float64, len(cands))
+	if err := en.ScoreBatch(g.ctx, st.s, cands, vals); err != nil {
+		return nil, err
+	}
+	st.c.ScoreEvals += int64(len(cands))
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
+	for t := 0; t < nT; t++ {
+		items := make([]item, 0, starts[t+1]-starts[t])
+		for i := starts[t]; i < starts[t+1]; i++ {
+			items = append(items, item{e: int32(cands[i].Event), score: vals[i], updated: true})
 		}
 		sortItems(items)
 		st.lists[t] = items
@@ -107,7 +125,7 @@ func (a HORI) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Res
 			}
 		}
 	}
-	return finish(st.sc, st.s, st.c, start), nil
+	return finish(st.en, st.s, st.c, start), nil
 }
 
 // markStale flags every entry of interval t's list stale; called when t
@@ -150,7 +168,11 @@ func (st *horiState) updateIntervalPass(t int) error {
 			continue
 		}
 		if it.score >= phi {
-			it.score = st.sc.Score(st.s, int(it.e), t)
+			// Each recomputation feeds Φ, which decides whether the next
+			// entry is recomputed at all — a sequential dependency, so this
+			// pass uses the engine's single-evaluation path (which still
+			// shards the user pass itself on large instances).
+			it.score = st.en.Score(st.s, int(it.e), t)
 			it.updated = true
 			st.c.ScoreEvals++
 			if err := st.g.step(); err != nil {

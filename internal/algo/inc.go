@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // INC is the Incremental Updating algorithm (Section 3.2, Algorithm 1).
@@ -29,6 +30,9 @@ import (
 type INC struct {
 	// Opts enables the Section 2.1 problem extensions.
 	Opts core.ScorerOptions
+	// Engine, when set, is the shared scoring engine to use; otherwise a
+	// private engine is built from Opts for the run.
+	Engine *score.Engine
 }
 
 // Name implements Scheduler.
@@ -52,7 +56,7 @@ type top struct {
 
 type incState struct {
 	inst  *core.Instance
-	sc    *core.Scorer
+	en    *score.Engine
 	s     *core.Schedule
 	lists []incList
 	m     []top
@@ -75,33 +79,49 @@ func (a INC) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 		return nil, err
 	}
 	start := time.Now()
-	sc, err := core.NewScorerWithOptions(inst, a.Opts)
+	en, release, err := engineFor(a.Engine, inst, a.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	st := &incState{
 		inst:  inst,
-		sc:    sc,
+		en:    en,
 		s:     core.NewSchedule(inst),
 		lists: make([]incList, inst.NumIntervals()),
 		m:     make([]top, inst.NumIntervals()),
 		g:     g,
 	}
 
-	// Generate all assignments, score them against the empty schedule and
-	// organize them into per-interval sorted lists (Algorithm 1, lines 2-5).
+	// Generate all assignments, score them against the empty schedule in one
+	// batch fan-out and organize them into per-interval sorted lists
+	// (Algorithm 1, lines 2-5). Candidates are collected interval-major so
+	// the per-interval slices of the frontier stay contiguous.
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	cands := make([]score.Candidate, 0, nE*nT)
+	starts := make([]int, nT+1)
 	for t := 0; t < nT; t++ {
-		items := make([]item, 0, nE)
+		starts[t] = len(cands)
 		for e := 0; e < nE; e++ {
 			if !st.s.Feasible(e, t) {
 				continue // ξ_e > θ: never schedulable
 			}
-			items = append(items, item{e: int32(e), score: st.sc.Score(st.s, e, t), updated: true})
-			st.c.ScoreEvals++
-			if err := g.step(); err != nil {
-				return nil, err
-			}
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
+		}
+	}
+	starts[nT] = len(cands)
+	vals := make([]float64, len(cands))
+	if err := en.ScoreBatch(g.ctx, st.s, cands, vals); err != nil {
+		return nil, err
+	}
+	st.c.ScoreEvals += int64(len(cands))
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
+	for t := 0; t < nT; t++ {
+		items := make([]item, 0, starts[t+1]-starts[t])
+		for i := starts[t]; i < starts[t+1]; i++ {
+			items = append(items, item{e: int32(cands[i].Event), score: vals[i], updated: true})
 		}
 		sortItems(items)
 		st.lists[t] = incList{items: items}
@@ -155,7 +175,7 @@ func (a INC) ScheduleCtx(ctx context.Context, inst *core.Instance, k int) (*Resu
 			return nil, err
 		}
 	}
-	return finish(st.sc, st.s, st.c, start), nil
+	return finish(st.en, st.s, st.c, start), nil
 }
 
 // anyTop reports whether any M entry is populated.
@@ -279,10 +299,13 @@ func (st *incState) updatePass() error {
 			return nil // Corollary 1: all remaining stale scores are below Φ
 		}
 		// Recompute the stale top and re-insert it in sorted position
-		// (scores only decrease, so it moves toward the tail).
+		// (scores only decrease, so it moves toward the tail). Each
+		// recomputation's target depends on the previous result (via Φ and
+		// the list order), so this pass uses the engine's single-evaluation
+		// path, which shards the user pass itself on large instances.
 		lt := &st.lists[bestT]
 		it := lt.items[bestPos]
-		it.score = st.sc.Score(st.s, int(it.e), bestT)
+		it.score = st.en.Score(st.s, int(it.e), bestT)
 		it.updated = true
 		st.c.ScoreEvals++
 		if err := st.g.step(); err != nil {

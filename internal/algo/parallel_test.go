@@ -1,0 +1,143 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// The engine contract: with parallel scoring enabled, every algorithm must
+// return the very same result as sequentially — identical selection sequence,
+// bit-identical utility, identical work counters. These tests cover both
+// shard regimes: |U| inside one user shard and |U| spanning several.
+func parallelEqualityInstances() []*core.Instance {
+	return []*core.Instance{
+		// Big frontier (30×8 = 240 candidates × 300 users) — engages the
+		// batch fan-out while all users fit one shard.
+		randomInstance(41, 30, 8, 6, 300, 8),
+		// Multi-shard users (10000 > chunk 8192) with a smaller frontier.
+		randomInstance(42, 12, 5, 4, 10_000, 5),
+	}
+}
+
+func TestParallelSchedulersMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard instance allocates ~1M floats")
+	}
+	for i, inst := range parallelEqualityInstances() {
+		for _, k := range []int{3, 9} {
+			for _, name := range Names() {
+				seq, err := NewWithOptions(name, 7, core.ScorerOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := NewWithOptions(name, 7, core.ScorerOptions{Workers: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := seq.Schedule(inst, k)
+				if err != nil {
+					t.Fatalf("%s sequential: %v", name, err)
+				}
+				rp, err := par.Schedule(inst, k)
+				if err != nil {
+					t.Fatalf("%s parallel: %v", name, err)
+				}
+				if rs.Utility != rp.Utility {
+					t.Errorf("inst %d %s k=%d: utility %v sequential vs %v parallel", i, name, k, rs.Utility, rp.Utility)
+				}
+				if rs.Counters != rp.Counters {
+					t.Errorf("inst %d %s k=%d: counters %+v sequential vs %+v parallel", i, name, k, rs.Counters, rp.Counters)
+				}
+				gs, gp := rs.Schedule.Assignments(), rp.Schedule.Assignments()
+				if len(gs) != len(gp) {
+					t.Fatalf("inst %d %s k=%d: %d selections sequential vs %d parallel", i, name, k, len(gs), len(gp))
+				}
+				for j := range gs {
+					if gs[j] != gp[j] {
+						t.Errorf("inst %d %s k=%d: selection %d = %+v sequential vs %+v parallel", i, name, k, j, gs[j], gp[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A shared engine must be reusable across algorithms and runs without
+// changing any result, and must reject foreign instances.
+func TestSharedEngineAcrossAlgorithms(t *testing.T) {
+	inst := randomInstance(43, 18, 6, 4, 120, 6)
+	en, err := score.New(inst, core.ScorerOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	for _, name := range Names() {
+		private, err := NewWithOptions(name, 5, core.ScorerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := NewWithEngine(name, 5, en)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := private.Schedule(inst, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 2; run++ { // twice: engine state must not leak between runs
+			rsh, err := shared.Schedule(inst, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp.Utility != rsh.Utility || rp.Counters != rsh.Counters {
+				t.Errorf("%s run %d: shared engine diverged (Ω %v vs %v, counters %+v vs %+v)",
+					name, run, rp.Utility, rsh.Utility, rp.Counters, rsh.Counters)
+			}
+		}
+	}
+
+	other := randomInstance(44, 6, 3, 2, 40, 4)
+	s, err := NewWithEngine("ALG", 1, en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(other, 2); err == nil {
+		t.Fatal("scheduling a foreign instance through a pinned engine must fail")
+	}
+}
+
+// Extend must match its sequential self through both the options path and a
+// shared engine.
+func TestExtendParallelMatchesSequential(t *testing.T) {
+	inst := randomInstance(45, 20, 6, 5, 200, 6)
+	base := core.NewSchedule(inst)
+	if err := base.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Extend(inst, base, 5, core.ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Extend(inst, base, 5, core.ScorerOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Utility != rp.Utility || rs.Counters != rp.Counters {
+		t.Fatalf("Extend diverged: Ω %v vs %v, counters %+v vs %+v", rs.Utility, rp.Utility, rs.Counters, rp.Counters)
+	}
+	en, err := score.New(inst, core.ScorerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	re, err := ExtendWithEngine(context.Background(), en, base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Utility != rs.Utility || re.Counters != rs.Counters {
+		t.Fatalf("ExtendWithEngine diverged: Ω %v vs %v", re.Utility, rs.Utility)
+	}
+}

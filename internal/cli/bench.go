@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/score"
 )
 
 // Sesbench regenerates the paper's evaluation figures.
@@ -31,6 +32,7 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		plot     = fs.Bool("plot", true, "render ASCII plots alongside tables")
 		verbose  = fs.Bool("v", false, "log every measurement as it completes")
 		trials   = fs.Int("trials", 5, "trials per dataset for -fig summary / stacking")
+		parallel = fs.Int("parallel", 0, "score with this many workers per measurement (0 = sequential, -1 = all cores; identical utilities/counters, lower wall time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -43,7 +45,10 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "sesbench", err)
 	}
-	o := exp.Options{Scale: sc, Seed: *seed}
+	if *parallel < 0 {
+		*parallel = score.DefaultWorkers()
+	}
+	o := exp.Options{Scale: sc, Seed: *seed, Workers: *parallel}
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -1,0 +1,266 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Benchdiff compares a fresh sesbench -json run against a checked-in
+// baseline and reports the utility/time deltas. It is CI's bench-regression
+// gate: the job fails when
+//
+//   - a baseline row is missing from the fresh run,
+//   - a deterministic metric drifts (utility beyond -util-tol relative
+//     tolerance, or any ScoreEvals/Examined change), or
+//   - a series' wall time regresses by more than -max-regress while at least
+//     one side of the comparison is above the -min-ms noise floor (sub-floor
+//     series are reported but never fail the gate: micro-benchmarks on shared
+//     CI runners are too noisy to gate on).
+//
+// A delta table is printed either way. To re-baseline after an intentional
+// change, regenerate the files the baseline directory holds (the exact
+// commands are in bench/baseline/README.md) and commit the result.
+func Benchdiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline   = fs.String("baseline", "bench/baseline", "baseline BENCH_*.json file or directory")
+		fresh      = fs.String("fresh", ".", "fresh BENCH_*.json file or directory to compare")
+		maxRegress = fs.Float64("max-regress", 0.25, "fail when a series' wall time exceeds the baseline by this fraction")
+		minMS      = fs.Float64("min-ms", 50, "wall-time noise floor in milliseconds: series below it on both sides never fail the time gate")
+		utilTol    = fs.Float64("util-tol", 1e-9, "relative utility drift tolerance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pairs, err := benchPairs(*baseline, *fresh)
+	if err != nil {
+		return fail(stderr, "benchdiff", err)
+	}
+	if len(pairs) == 0 {
+		return fail(stderr, "benchdiff", fmt.Errorf("no BENCH_*.json files under baseline %q", *baseline))
+	}
+	failures := 0
+	rowsCompared := 0
+	worst := math.Inf(-1)
+	for _, p := range pairs {
+		fmt.Fprintf(stdout, "%s\n", p.name)
+		base, err := readBenchFile(p.basePath)
+		if err != nil {
+			return fail(stderr, "benchdiff", err)
+		}
+		if p.freshPath == "" {
+			fmt.Fprintf(stdout, "  FAIL: no fresh run for this baseline file\n")
+			failures++
+			continue
+		}
+		freshRows, err := readBenchFile(p.freshPath)
+		if err != nil {
+			return fail(stderr, "benchdiff", err)
+		}
+		res := diffBench(base, freshRows, *maxRegress, *minMS, *utilTol)
+		rowsCompared += res.rows
+		if res.worst > worst {
+			worst = res.worst
+		}
+		writeDiffTable(stdout, res)
+		failures += len(res.failures)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchdiff: FAIL (%d problem(s) across %d file(s))\n", failures, len(pairs))
+		return 1
+	}
+	worstNote := "n/a"
+	if !math.IsInf(worst, -1) {
+		worstNote = fmt.Sprintf("%+.1f%%", 100*worst)
+	}
+	fmt.Fprintf(stdout, "benchdiff: OK (%d files, %d rows compared, worst wall-time delta %s)\n",
+		len(pairs), rowsCompared, worstNote)
+	return 0
+}
+
+// benchPair names one baseline file and its fresh counterpart ("" = missing).
+type benchPair struct {
+	name      string
+	basePath  string
+	freshPath string
+}
+
+// benchPairs resolves the baseline/fresh arguments into comparison pairs.
+// Directories are matched by file name over the BENCH_*.json glob; two plain
+// files are compared directly.
+func benchPairs(baseline, fresh string) ([]benchPair, error) {
+	bi, err := os.Stat(baseline)
+	if err != nil {
+		return nil, err
+	}
+	if !bi.IsDir() {
+		fp := fresh
+		if fi, err := os.Stat(fresh); err == nil && fi.IsDir() {
+			fp = filepath.Join(fresh, filepath.Base(baseline))
+			if _, err := os.Stat(fp); err != nil {
+				fp = ""
+			}
+		}
+		return []benchPair{{name: filepath.Base(baseline), basePath: baseline, freshPath: fp}}, nil
+	}
+	names, err := filepath.Glob(filepath.Join(baseline, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []benchPair
+	for _, bp := range names {
+		p := benchPair{name: filepath.Base(bp), basePath: bp}
+		fp := filepath.Join(fresh, p.name)
+		if _, err := os.Stat(fp); err == nil {
+			p.freshPath = fp
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func readBenchFile(path string) ([]exp.Row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := exp.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// rowKey identifies one measurement point across runs.
+type rowKey struct {
+	figure, dataset, algorithm, xname string
+	x                                 int
+}
+
+// seriesKey groups the points of one plotted curve; wall time is gated per
+// series (summed over the sweep) because per-point times at benchmark scale
+// are dominated by scheduler jitter.
+type seriesKey struct {
+	figure, dataset, algorithm string
+}
+
+type seriesDelta struct {
+	key         seriesKey
+	baseMS      float64
+	freshMS     float64
+	delta       float64 // (fresh-base)/base
+	gated       bool    // above the noise floor, so eligible to fail
+	utilDrift   float64 // worst relative utility drift across the series' points
+	counterNote string  // non-empty on ScoreEvals/Examined mismatch
+}
+
+type diffResult struct {
+	rows     int
+	series   []seriesDelta
+	failures []string
+	worst    float64 // worst gated wall-time delta (for the summary line)
+}
+
+// diffBench compares one file's rows.
+func diffBench(base, fresh []exp.Row, maxRegress, minMS, utilTol float64) diffResult {
+	res := diffResult{worst: math.Inf(-1)}
+	freshByKey := make(map[rowKey]exp.Row, len(fresh))
+	for _, r := range fresh {
+		freshByKey[keyOf(r)] = r
+	}
+	agg := make(map[seriesKey]*seriesDelta)
+	var order []seriesKey
+	for _, b := range base {
+		k := keyOf(b)
+		sk := seriesKey{b.Figure, b.Dataset, b.Algorithm}
+		sd, ok := agg[sk]
+		if !ok {
+			sd = &seriesDelta{key: sk}
+			agg[sk] = sd
+			order = append(order, sk)
+		}
+		f, ok := freshByKey[k]
+		if !ok {
+			res.failures = append(res.failures,
+				fmt.Sprintf("row missing from fresh run: %+v", k))
+			continue
+		}
+		res.rows++
+		sd.baseMS += durMS(b.Elapsed)
+		sd.freshMS += durMS(f.Elapsed)
+		drift := relDiff(b.Utility, f.Utility)
+		if drift > sd.utilDrift {
+			sd.utilDrift = drift
+		}
+		if drift > utilTol {
+			res.failures = append(res.failures,
+				fmt.Sprintf("utility drift %.3g at %+v: baseline %.9g, fresh %.9g", drift, k, b.Utility, f.Utility))
+		}
+		if b.ScoreEvals != f.ScoreEvals || b.Examined != f.Examined {
+			sd.counterNote = "counter drift"
+			res.failures = append(res.failures,
+				fmt.Sprintf("deterministic counters drifted at %+v: evals %d→%d, examined %d→%d",
+					k, b.ScoreEvals, f.ScoreEvals, b.Examined, f.Examined))
+		}
+	}
+	for _, sk := range order {
+		sd := agg[sk]
+		if sd.baseMS > 0 {
+			sd.delta = (sd.freshMS - sd.baseMS) / sd.baseMS
+		}
+		sd.gated = sd.baseMS >= minMS || sd.freshMS >= minMS
+		if sd.gated {
+			if sd.delta > res.worst {
+				res.worst = sd.delta
+			}
+			if sd.delta > maxRegress {
+				res.failures = append(res.failures,
+					fmt.Sprintf("wall-time regression %+.1f%% on %s/%s/%s (%.1fms → %.1fms, limit +%.0f%%)",
+						100*sd.delta, sk.figure, sk.dataset, sk.algorithm, sd.baseMS, sd.freshMS, 100*maxRegress))
+			}
+		}
+		res.series = append(res.series, *sd)
+	}
+	return res
+}
+
+func writeDiffTable(w io.Writer, res diffResult) {
+	fmt.Fprintf(w, "  %-6s %-9s %-6s %10s %10s %8s %10s\n",
+		"figure", "dataset", "algo", "base(ms)", "fresh(ms)", "Δtime", "Ω-drift")
+	for _, sd := range res.series {
+		note := ""
+		if !sd.gated {
+			note = "  (below noise floor)"
+		}
+		if sd.counterNote != "" {
+			note += "  !" + sd.counterNote
+		}
+		fmt.Fprintf(w, "  %-6s %-9s %-6s %10.2f %10.2f %+7.1f%% %10.2g%s\n",
+			sd.key.figure, sd.key.dataset, sd.key.algorithm,
+			sd.baseMS, sd.freshMS, 100*sd.delta, sd.utilDrift, note)
+	}
+	for _, f := range res.failures {
+		fmt.Fprintf(w, "  FAIL: %s\n", f)
+	}
+}
+
+func keyOf(r exp.Row) rowKey {
+	return rowKey{r.Figure, r.Dataset, r.Algorithm, r.XName, r.X}
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Abs(a))
+}

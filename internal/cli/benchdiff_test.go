@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func benchRows(utility float64, evals int64, elapsed time.Duration) []exp.Row {
+	var rows []exp.Row
+	for _, alg := range []string{"ALG", "INC"} {
+		for x := 1; x <= 3; x++ {
+			rows = append(rows, exp.Row{
+				Figure: "10b", Dataset: "Unf", Algorithm: alg, XName: "k", X: x,
+				K: x, Events: 6, Intervals: 3, Users: 40,
+				Utility: utility, ScoreEvals: evals, Computations: evals * 40,
+				Examined: 100, Elapsed: elapsed,
+			})
+		}
+	}
+	return rows
+}
+
+func writeBench(t *testing.T, dir, name string, rows []exp.Row) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := exp.WriteJSON(f, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runBenchdiff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := Benchdiff(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestBenchdiffOK(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_a.json", benchRows(10, 50, 200*time.Millisecond))
+	// Identical metrics, slightly faster: passes and reports the delta.
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 50, 150*time.Millisecond))
+	code, out := runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "benchdiff: OK") || !strings.Contains(out, "-25.0%") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBenchdiffTimeRegressionFails(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_a.json", benchRows(10, 50, 200*time.Millisecond))
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 50, 400*time.Millisecond))
+	code, out := runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(out, "wall-time regression") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestBenchdiffNoiseFloorSwallowsTinyRegressions(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	// 2ms → 4ms is +100%, but both sides sit under the 50ms floor.
+	writeBench(t, base, "BENCH_a.json", benchRows(10, 50, time.Millisecond))
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 50, 2*time.Millisecond))
+	code, out := runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 0 || !strings.Contains(out, "below noise floor") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestBenchdiffDeterministicDriftFails(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_a.json", benchRows(10, 50, time.Millisecond))
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10.5, 50, time.Millisecond))
+	code, out := runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(out, "utility drift") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 51, time.Millisecond))
+	code, out = runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(out, "counters drifted") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestBenchdiffMissingRowsAndFiles(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_a.json", benchRows(10, 50, time.Millisecond))
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 50, time.Millisecond)[:3])
+	code, out := runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(out, "row missing") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+
+	// A baseline file with no fresh counterpart fails too.
+	writeBench(t, base, "BENCH_b.json", benchRows(1, 1, time.Millisecond))
+	writeBench(t, fresh, "BENCH_a.json", benchRows(10, 50, time.Millisecond))
+	code, out = runBenchdiff(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(out, "no fresh run") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+
+	// Empty baseline directory is a usage error, not a silent pass.
+	if code, _ := runBenchdiff(t, "-baseline", t.TempDir(), "-fresh", fresh); code != 1 {
+		t.Fatalf("empty baseline dir: exit %d, want 1", code)
+	}
+}
+
+// Round-trip: rows written by WriteJSON and read back via ReadJSON must
+// carry every compared field.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	rows := benchRows(3.25, 17, 1500*time.Microsecond)
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := exp.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(back), len(rows))
+	}
+	for i := range rows {
+		if rows[i].Utility != back[i].Utility || rows[i].ScoreEvals != back[i].ScoreEvals ||
+			rows[i].Examined != back[i].Examined || keyOf(rows[i]) != keyOf(back[i]) {
+			t.Fatalf("row %d changed: %+v vs %+v", i, rows[i], back[i])
+		}
+		if d := rows[i].Elapsed - back[i].Elapsed; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("row %d elapsed drifted by %v", i, d)
+		}
+	}
+}

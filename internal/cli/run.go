@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/score"
 	"repro/internal/seio"
 	"repro/internal/sim"
 )
@@ -28,7 +29,8 @@ func Sesrun(stdin io.Reader, args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("o", "", "write the schedule as JSON to this file")
 		seed     = fs.Uint64("seed", 1, "seed for RAND and -simulate")
 		simulate = fs.Int("simulate", 0, "cross-check Ω with this many Monte-Carlo trials")
-		workers  = fs.Int("workers", 0, "parallelize score computations across this many goroutines (large instances)")
+		parallel = fs.Int("parallel", 0, "score with this many engine workers (0 = sequential, -1 = all cores; utilities are bit-identical)")
+		workers  = fs.Int("workers", 0, "deprecated alias for -parallel")
 		quiet    = fs.Bool("q", false, "suppress the per-event table")
 
 		batch    = fs.String("batch", "", "sesd base URL: submit an async sweep job instead of solving locally")
@@ -73,7 +75,13 @@ func Sesrun(stdin io.Reader, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "sesrun", err)
 	}
-	s, err := algo.NewWithOptions(*algoName, *seed, core.ScorerOptions{Workers: *workers})
+	if *parallel == 0 {
+		*parallel = *workers
+	}
+	if *parallel < 0 {
+		*parallel = score.DefaultWorkers()
+	}
+	s, err := algo.NewWithOptions(*algoName, *seed, core.ScorerOptions{Workers: *parallel})
 	if err != nil {
 		return fail(stderr, "sesrun", err)
 	}

@@ -28,13 +28,14 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		cache    = fs.Int("cache", 256, "result cache capacity (entries)")
 		jobTTL   = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
 		jobCells = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
+		parallel = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	srv := server.New(server.Config{
 		Workers: *workers, Queue: *queue, CacheSize: *cache,
-		JobTTL: *jobTTL, MaxJobCells: *jobCells,
+		JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
 	})
 	defer srv.Close()
 

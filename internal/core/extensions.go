@@ -25,12 +25,12 @@ type ScorerOptions struct {
 	// happens if k demands it, mirroring the original problem's "exactly
 	// k events" contract.
 	EventCost []float64
-	// Workers > 1 parallelizes each score computation's user pass across
-	// that many goroutines. It only engages at large user counts (≥ 64K)
-	// where the fan-out amortizes; results are deterministic for a fixed
-	// worker count (chunk boundaries are fixed), but differ in final bits
-	// from the sequential sum, so keep the worker count consistent across
-	// algorithms being compared.
+	// Workers > 1 asks the scoring engine (internal/score) built from these
+	// options to shard Eq. 4 user passes and candidate batches across that
+	// many goroutines (GOMAXPROCS is the sensible ceiling). core.Scorer
+	// itself always scores sequentially; the engine's fixed user-shard
+	// boundaries make parallel results bit-identical to its sequential
+	// fallback for every worker count.
 	Workers int
 }
 
@@ -70,7 +70,6 @@ func NewScorerWithOptions(inst *Instance, opts ScorerOptions) (*Scorer, error) {
 	}
 	sc := NewScorer(inst)
 	sc.cost = opts.EventCost
-	sc.workers = opts.Workers
 	if opts.UserWeights != nil {
 		// Fold the weights into a scorer-private activity matrix so the
 		// hot loops stay identical: one multiply already paid at setup.

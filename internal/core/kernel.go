@@ -1,0 +1,45 @@
+package core
+
+// scoreUserRange computes the Eq. 4 gain restricted to users [lo, hi): the
+// branch-free kernel behind Score and the exported shard primitive
+// ScoreUsers. Score is scoreUserRange over the full range minus the event
+// cost; the internal/score engine calls it per user shard.
+func (sc *Scorer) scoreUserRange(s *Schedule, e, t, lo, hi int) float64 {
+	inst := sc.inst
+	mu := inst.interestCol(e)[lo:hi]
+	act := sc.scoreActivityCol(t)[lo:hi]
+	comp := sc.compSum[t]
+	assigned := s.assignedInterestSum(t)
+
+	gain := 0.0
+	switch {
+	case comp == nil && assigned == nil:
+		for u, mf := range mu {
+			m := float64(mf)
+			gain += float64(act[u]) * m / (m + denomEps)
+		}
+	case assigned == nil:
+		comp := comp[lo:hi]
+		for u, mf := range mu {
+			m := float64(mf)
+			gain += float64(act[u]) * m / (comp[u] + m + denomEps)
+		}
+	case comp == nil:
+		assigned := assigned[lo:hi]
+		for u, mf := range mu {
+			a := assigned[u]
+			m := float64(mf)
+			gain += float64(act[u]) * ((a+m)/(a+m+denomEps) - a/(a+denomEps))
+		}
+	default:
+		comp := comp[lo:hi]
+		assigned := assigned[lo:hi]
+		for u, mf := range mu {
+			a := assigned[u]
+			m := float64(mf)
+			oldD := comp[u] + a
+			gain += float64(act[u]) * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
+		}
+	}
+	return gain
+}

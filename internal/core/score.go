@@ -22,9 +22,6 @@ type Scorer struct {
 	// cost, when non-nil, holds per-event organization costs subtracted
 	// from scores and utility (the profit-oriented variant).
 	cost []float64
-	// workers > 1 fans Score's user pass out over goroutines for large
-	// user counts (ScorerOptions.Workers).
-	workers int
 }
 
 // NewScorer builds a scorer for the instance, precomputing the competing
@@ -73,11 +70,22 @@ func (sc *Scorer) CompetingSum(user, interval int) float64 {
 // nothing). With ScorerOptions, σ is the weighted activity and the event's
 // organization cost is subtracted (profit-oriented variant).
 func (sc *Scorer) Score(s *Schedule, e, t int) float64 {
-	if sc.workers > 1 && sc.inst.numUsers >= parallelThreshold {
-		return sc.scoreParallel(s, e, t)
-	}
 	return sc.scoreUserRange(s, e, t, 0, sc.inst.numUsers) - sc.eventCost(e)
 }
+
+// ScoreUsers computes the Eq. 4 gain of α_e^t restricted to users [lo, hi),
+// excluding the event's organization cost. It is the shard primitive of the
+// internal/score engine: summing ScoreUsers over a partition of [0, |U|) in
+// shard order and subtracting AssignCost(e) reproduces Score exactly when the
+// partition is a single shard, and deterministically (independent of which
+// goroutine computed which shard) otherwise.
+func (sc *Scorer) ScoreUsers(s *Schedule, e, t, lo, hi int) float64 {
+	return sc.scoreUserRange(s, e, t, lo, hi)
+}
+
+// AssignCost returns the organization cost Score subtracts for event e: the
+// ScorerOptions.EventCost entry in the profit-oriented variant, 0 otherwise.
+func (sc *Scorer) AssignCost(e int) float64 { return sc.eventCost(e) }
 
 // denomEps makes the user loops of Score branch-free: a zero-interest user
 // would need an "if denominator == 0" skip, but that branch is

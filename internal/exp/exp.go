@@ -20,6 +20,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/score"
 )
 
 // Scale shrinks the paper's workload sizes while preserving ratios.
@@ -99,6 +100,10 @@ type Options struct {
 	Datasets []string
 	// Algorithms filters which algorithms run (nil = the figure's list).
 	Algorithms []string
+	// Workers > 1 runs every measurement with a parallel scoring engine of
+	// that many workers (sesbench -parallel). Utilities and counters are
+	// bit-identical to sequential runs; only wall time changes.
+	Workers int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -155,8 +160,16 @@ func runPoint(fig, ds, xname string, x int, k int, p dataset.Params, algos []str
 	return runInstance(fig, ds, xname, x, k, inst, algos, o)
 }
 
-// runInstance runs the requested algorithms on a prebuilt instance.
+// runInstance runs the requested algorithms on a prebuilt instance. All
+// algorithms of one measurement point share one scoring engine, so the
+// O(|U|·|C|) precompute and the worker set are paid once per instance —
+// the same amortization sesd gets from its per-version engines.
 func runInstance(fig, ds, xname string, x int, k int, inst *core.Instance, algos []string, o Options) ([]Row, error) {
+	en, err := score.New(inst, core.ScorerOptions{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
 	var rows []Row
 	for _, name := range algos {
 		if !o.wantAlgorithm(name) {
@@ -167,7 +180,7 @@ func runInstance(fig, ds, xname string, x int, k int, inst *core.Instance, algos
 		if name == "HOR-I" && k <= inst.NumIntervals() {
 			continue
 		}
-		s, err := algo.New(name, o.Seed+uint64(x))
+		s, err := algo.NewWithEngine(name, o.Seed+uint64(x), en)
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/algo"
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/score"
 )
 
 // Fig5 regenerates Figure 5: the effect of the number of scheduled events k
@@ -265,11 +267,17 @@ func Summary(o Options, trials int) (SummaryStats, []Row, error) {
 			if err != nil {
 				return st, nil, err
 			}
-			ra, err := algo.ALG{}.Schedule(inst, k)
+			en, err := score.New(inst, core.ScorerOptions{Workers: o.Workers})
 			if err != nil {
 				return st, nil, err
 			}
-			rh, err := algo.HOR{}.Schedule(inst, k)
+			ra, err := algo.ALG{Engine: en}.Schedule(inst, k)
+			if err != nil {
+				en.Close()
+				return st, nil, err
+			}
+			rh, err := algo.HOR{Engine: en}.Schedule(inst, k)
+			en.Close()
 			if err != nil {
 				return st, nil, err
 			}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/seio"
 	"repro/internal/textplot"
@@ -243,4 +244,35 @@ func WriteJSON(w io.Writer, rows []Row) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// ReadJSON parses a WriteJSON document back into rows — the consumer side of
+// the BENCH_*.json trajectory files (cmd/benchdiff compares two of them).
+func ReadJSON(r io.Reader) ([]Row, error) {
+	var doc struct {
+		Rows []rowJSON `json:"rows"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("exp: parse bench JSON: %w", err)
+	}
+	rows := make([]Row, 0, len(doc.Rows))
+	for _, jr := range doc.Rows {
+		rows = append(rows, Row{
+			Figure:       jr.Figure,
+			Dataset:      jr.Dataset,
+			Algorithm:    jr.Algorithm,
+			XName:        jr.XName,
+			X:            jr.X,
+			K:            jr.K,
+			Events:       jr.Events,
+			Intervals:    jr.Intervals,
+			Users:        jr.Users,
+			Utility:      jr.Utility,
+			ScoreEvals:   jr.ScoreEvals,
+			Computations: jr.Computations,
+			Examined:     jr.Examined,
+			Elapsed:      time.Duration(jr.ElapsedMS * float64(time.Millisecond)),
+		})
+	}
+	return rows, nil
 }

@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/algo"
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/score"
 )
 
 // StackingPoint is one measurement of the stacking study: the HOR-vs-ALG
@@ -42,11 +44,17 @@ func StackingStudy(o Options, scales []float64, trials int) ([]StackingPoint, er
 			if err != nil {
 				return nil, err
 			}
-			ra, err := algo.ALG{}.Schedule(inst, k)
+			en, err := score.New(inst, core.ScorerOptions{Workers: o.Workers})
 			if err != nil {
 				return nil, err
 			}
-			rh, err := algo.HOR{}.Schedule(inst, k)
+			ra, err := algo.ALG{Engine: en}.Schedule(inst, k)
+			if err != nil {
+				en.Close()
+				return nil, err
+			}
+			rh, err := algo.HOR{Engine: en}.Schedule(inst, k)
+			en.Close()
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,327 @@
+// Package score is the shared Eq. 4 scoring engine behind every scheduler in
+// internal/algo. The paper's cost model prices one assignment score at one
+// pass over all |U| users (Figures 5e–5h count exactly these passes); that
+// pass is embarrassingly parallel across users, and the candidate frontiers
+// the algorithms evaluate (ALG's full grid, HOR's per-layer rescore, TOP's
+// one-shot grid) are embarrassingly parallel across candidates. The engine
+// exploits both without changing a single reported number:
+//
+//   - An Engine wraps one core.Scorer built for one instance snapshot. The
+//     scorer's construction is the O(|U|·|C|) dense precompute of the
+//     per-interval competing-interest rows — paid once per Engine and
+//     amortized across every evaluation (and, when the Engine is shared, as
+//     sesd shares one per instance version, across whole runs).
+//
+//   - A reusable worker set (sized by the caller; GOMAXPROCS is the
+//     sensible ceiling) fans work out. Workers
+//     are plain goroutines draining a task channel; batches never queue
+//     behind each other because the submitting goroutine always participates
+//     in its own batch, so a saturated worker set degrades to sequential
+//     execution instead of deadlocking or stalling.
+//
+//   - Results are bit-identical in every mode. All summation happens over
+//     fixed user shards of chunkUsers entries reduced in shard order, so a
+//     score does not depend on the worker count, on which goroutine computed
+//     which shard, or on whether the sequential fallback ran. Schedulers
+//     therefore make identical selections with parallelism on or off, which
+//     the equality tests assert for all six algorithms.
+//
+//   - Cancellation is cooperative: ScoreBatch polls its context between
+//     candidates, so ScheduleCtx's promptness contract (internal/algo)
+//     survives the fan-out.
+package score
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+const (
+	// chunkUsers is the fixed user-shard width. Fixed — not derived from
+	// the worker count — so partial sums and their reduction order are a
+	// function of |U| alone, which is what makes parallel, sequential and
+	// single-worker scores bit-identical. 8192 float32 reads per shard is
+	// comfortably past the point where goroutine handoff (~1µs) is noise.
+	chunkUsers = 8192
+
+	// singleParallelUsers is the minimum |U| before ONE evaluation fans its
+	// user pass out. Below it a sequential pass completes in the time the
+	// fan-out costs (the old core parallelThreshold, kept).
+	singleParallelUsers = 1 << 16
+
+	// batchParallelWork is the minimum candidates × users before a batch
+	// fans out across candidates. Small frontiers on small instances run
+	// faster on the caller's goroutine than through the task channel.
+	batchParallelWork = 1 << 15
+
+	// ctxCheckEvery amortizes context polling in the sequential batch loop,
+	// mirroring the schedulers' own guard cadence.
+	ctxCheckEvery = 32
+
+	// maxWorkers is a sanity cap on the worker set. The caller picks the
+	// count (GOMAXPROCS is the sensible ceiling — see DefaultWorkers);
+	// the cap only guards against absurd requests.
+	maxWorkers = 256
+)
+
+// DefaultWorkers is the recommended worker count for a dedicated machine:
+// one per schedulable core. CLIs map "-parallel -1" to it.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Candidate is one assignment α_e^t to score.
+type Candidate struct {
+	Event    int
+	Interval int
+}
+
+// Engine is a reusable scoring engine for one instance snapshot. An Engine is
+// safe for concurrent use: multiple solves may share one Engine (sesd shares
+// one per instance version) and issue overlapping batches; the worker set is
+// shared and work-stealing, so concurrent batches interleave instead of
+// serializing.
+//
+// Close releases the worker goroutines. Calls must not overlap Close; owners
+// (a scheduler run, or the server's refcounted engine cache) close only after
+// every user of the Engine has finished.
+type Engine struct {
+	sc      *core.Scorer
+	inst    *core.Instance
+	workers int
+	tasks   chan func()
+
+	closeOnce sync.Once
+
+	evals   atomic.Int64
+	batches atomic.Int64
+	fanouts atomic.Int64
+}
+
+// New builds an engine for the instance, precomputing the dense per-interval
+// competition rows. opts.Workers sizes the worker set: ≤ 1 means sequential,
+// and the scoring pass is CPU-bound so counts beyond GOMAXPROCS (see
+// DefaultWorkers) buy nothing but contention. The count is honored as given
+// — results are bit-identical for every worker count, so oversubscription is
+// a performance choice, never a correctness one.
+func New(inst *core.Instance, opts core.ScorerOptions) (*Engine, error) {
+	sc, err := core.NewScorerWithOptions(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	en := &Engine{sc: sc, inst: inst, workers: w}
+	if w > 1 {
+		// w-1 helper goroutines: the goroutine that submits a batch always
+		// works on it too, so w workers participate in a lone batch.
+		en.tasks = make(chan func(), w)
+		for i := 0; i < w-1; i++ {
+			go en.work()
+		}
+	}
+	return en, nil
+}
+
+func (en *Engine) work() {
+	for fn := range en.tasks {
+		fn()
+	}
+}
+
+// offer hands fn to an idle helper without blocking. When the worker set is
+// saturated by concurrent batches the caller keeps the work — progress never
+// depends on a helper being free.
+func (en *Engine) offer(fn func()) bool {
+	select {
+	case en.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the worker goroutines. Idempotent.
+func (en *Engine) Close() {
+	en.closeOnce.Do(func() {
+		if en.tasks != nil {
+			close(en.tasks)
+		}
+	})
+}
+
+// Instance returns the instance snapshot the engine scores against.
+func (en *Engine) Instance() *core.Instance { return en.inst }
+
+// Scorer exposes the wrapped scorer for the non-hot-path evaluations that
+// never fan out (Utility, Rho, EventAttendance).
+func (en *Engine) Scorer() *core.Scorer { return en.sc }
+
+// Workers returns the effective worker count (1 = sequential).
+func (en *Engine) Workers() int { return en.workers }
+
+// Utility computes Ω(S) (Eq. 3). One pass per non-empty interval; never
+// parallelized, so it is the same bits in every mode.
+func (en *Engine) Utility(s *core.Schedule) float64 { return en.sc.Utility(s) }
+
+// scoreShards is the canonical evaluation: the Eq. 4 user pass over fixed
+// shards reduced in shard order, minus the event cost. Every path through the
+// engine — sequential, batched, user-sharded — bottoms out here or reproduces
+// exactly this sum.
+func (en *Engine) scoreShards(s *core.Schedule, e, t int) float64 {
+	nU := en.inst.NumUsers()
+	gain := 0.0
+	for lo := 0; lo < nU; lo += chunkUsers {
+		hi := lo + chunkUsers
+		if hi > nU {
+			hi = nU
+		}
+		gain += en.sc.ScoreUsers(s, e, t, lo, hi)
+	}
+	return gain - en.sc.AssignCost(e)
+}
+
+// Score evaluates one assignment score (Eq. 4) against schedule s. With
+// workers and a large enough user dimension the pass is sharded across the
+// worker set; the result is bit-identical either way. Score is the primitive
+// for the sequentially-dependent passes (INC's and HOR-I's incremental
+// updates, whose decision to evaluate a candidate depends on the previous
+// result); independent frontiers should use ScoreBatch.
+func (en *Engine) Score(s *core.Schedule, e, t int) float64 {
+	nU := en.inst.NumUsers()
+	if en.workers > 1 && nU >= singleParallelUsers {
+		return en.scoreSharded(s, e, t)
+	}
+	en.evals.Add(1)
+	return en.scoreShards(s, e, t)
+}
+
+// scoreSharded fans one evaluation's user shards across the worker set and
+// reduces the partials in shard order.
+func (en *Engine) scoreSharded(s *core.Schedule, e, t int) float64 {
+	en.fanouts.Add(1)
+	nU := en.inst.NumUsers()
+	nShards := (nU + chunkUsers - 1) / chunkUsers
+	partial := make([]float64, nShards)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= nShards {
+				return
+			}
+			lo := i * chunkUsers
+			hi := lo + chunkUsers
+			if hi > nU {
+				hi = nU
+			}
+			partial[i] = en.sc.ScoreUsers(s, e, t, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < en.workers-1; i++ {
+		wg.Add(1)
+		if !en.offer(func() { defer wg.Done(); run() }) {
+			wg.Done()
+			break // saturated: the shards left run on this goroutine
+		}
+	}
+	run()
+	wg.Wait()
+	gain := 0.0
+	for _, p := range partial {
+		gain += p
+	}
+	en.evals.Add(1)
+	return gain - en.sc.AssignCost(e)
+}
+
+// ScoreBatch evaluates M candidate assignments against the current partial
+// schedule in one fan-out, writing cands[i]'s score to out[i]. This is how
+// the schedulers evaluate whole candidate frontiers: one call scores ALG's
+// initial |E|×|T| grid or HOR's per-layer rescore with the user dimension's
+// work spread across the worker set (parallelism across candidates — each
+// out[i] is written by exactly one goroutine, so no accumulation races and
+// no float reassociation).
+//
+// The context is polled between candidates; on cancellation ScoreBatch
+// returns ctx.Err() promptly and out holds a mix of fresh and stale values
+// the caller must discard. A nil error means every candidate was scored and
+// the caller may account len(cands) evaluations.
+func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Candidate, out []float64) error {
+	if len(out) < len(cands) {
+		panic("score: ScoreBatch output buffer shorter than candidate list")
+	}
+	nU := en.inst.NumUsers()
+	if en.workers <= 1 || len(cands) < 2 || len(cands)*nU < batchParallelWork {
+		for i, cd := range cands {
+			if i%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			out[i] = en.scoreShards(s, cd.Event, cd.Interval)
+		}
+	} else {
+		en.fanouts.Add(1)
+		var next atomic.Int64
+		run := func() {
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				out[i] = en.scoreShards(s, cands[i].Event, cands[i].Interval)
+			}
+		}
+		helpers := en.workers - 1
+		if helpers > len(cands)-1 {
+			helpers = len(cands) - 1
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < helpers; i++ {
+			wg.Add(1)
+			if !en.offer(func() { defer wg.Done(); run() }) {
+				wg.Done()
+				break // saturated: remaining candidates run on this goroutine
+			}
+		}
+		run()
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	en.evals.Add(int64(len(cands)))
+	en.batches.Add(1)
+	return nil
+}
+
+// Stats is a point-in-time view of the engine's work, surfaced by sesd's
+// /stats. Evals counts Eq. 4 evaluations performed (batch or single);
+// Fanouts counts the evaluations/batches that actually engaged the worker
+// set, so Fanouts ≪ Batches means the workload stayed under the parallel
+// thresholds.
+type Stats struct {
+	Workers int   `json:"workers"`
+	Evals   int64 `json:"evals"`
+	Batches int64 `json:"batches"`
+	Fanouts int64 `json:"fanouts"`
+}
+
+// Stat samples the engine counters.
+func (en *Engine) Stat() Stats {
+	return Stats{
+		Workers: en.workers,
+		Evals:   en.evals.Load(),
+		Batches: en.batches.Load(),
+		Fanouts: en.fanouts.Load(),
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// engineKey identifies one scoring engine: an instance version with one set
+// of scorer extensions. Every solve, extend and sweep cell of the same
+// version (and the same weights/costs fingerprint) shares one engine, so the
+// O(|U|·|C|) competition-row precompute and the engine's worker set are paid
+// once per version instead of once per request.
+type engineKey struct {
+	name    string
+	version uint64
+	opts    uint64
+}
+
+// engineEntry is one cached engine with a refcount. Eviction (or cache close)
+// marks the entry dead; the engine's workers are released when the last
+// in-flight user drops its reference.
+type engineEntry struct {
+	en   *score.Engine
+	refs int
+	dead bool
+	used int64 // LRU tick of the last acquire
+}
+
+// engineCache is a small refcounted LRU of scoring engines. Engines hold
+// worker goroutines and O(|T|·|U|) precompute, so the cache is bounded like
+// the result cache but must not close an engine somebody is mid-solve on —
+// hence refcounts instead of the result cache's value semantics.
+type engineCache struct {
+	workers  int
+	capacity int
+
+	mu     sync.Mutex
+	m      map[engineKey]*engineEntry
+	tick   int64
+	closed bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newEngineCache(workers, capacity int) *engineCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &engineCache{workers: workers, capacity: capacity, m: make(map[engineKey]*engineEntry)}
+}
+
+// acquire returns the engine for the key, building it on a miss, plus a
+// release func the caller must invoke exactly once when its run is done.
+// opts carries the request's extensions; the cache imposes its worker count.
+func (ec *engineCache) acquire(key engineKey, inst *core.Instance, opts core.ScorerOptions) (*score.Engine, func(), error) {
+	opts.Workers = ec.workers
+	ec.mu.Lock()
+	if e, ok := ec.m[key]; ok && !e.dead {
+		e.refs++
+		ec.tick++
+		e.used = ec.tick
+		ec.mu.Unlock()
+		ec.hits.Add(1)
+		return e.en, ec.releaseFunc(e), nil
+	}
+	closed := ec.closed
+	ec.mu.Unlock()
+	ec.misses.Add(1)
+
+	// Build outside the lock: engine construction is O(|U|·|C|) and must not
+	// stall acquires of other instances.
+	en, err := score.New(inst, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if closed {
+		// Shutdown straggler: hand out a private engine, never cache it.
+		return en, en.Close, nil
+	}
+
+	ec.mu.Lock()
+	if ec.closed {
+		// close() ran while we were building: do not insert into a cache
+		// nobody will close again — hand the engine out privately.
+		ec.mu.Unlock()
+		return en, en.Close, nil
+	}
+	if e, ok := ec.m[key]; ok && !e.dead {
+		// Another request built the same engine first; use the shared one.
+		e.refs++
+		ec.tick++
+		e.used = ec.tick
+		ec.mu.Unlock()
+		en.Close()
+		return e.en, ec.releaseFunc(e), nil
+	}
+	ec.tick++
+	e := &engineEntry{en: en, refs: 1, used: ec.tick}
+	ec.m[key] = e
+	ec.evictLocked()
+	ec.mu.Unlock()
+	return en, ec.releaseFunc(e), nil
+}
+
+// releaseFunc builds the idempotent reference drop for an entry.
+func (ec *engineCache) releaseFunc(e *engineEntry) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			ec.mu.Lock()
+			e.refs--
+			stop := e.dead && e.refs == 0
+			ec.mu.Unlock()
+			if stop {
+				e.en.Close()
+			}
+		})
+	}
+}
+
+// evictLocked trims the cache to capacity, least-recently-acquired first.
+// Busy engines are unmapped but keep running until their last user releases.
+// Callers hold ec.mu.
+func (ec *engineCache) evictLocked() {
+	for len(ec.m) > ec.capacity {
+		var victim engineKey
+		var oldest int64
+		found := false
+		for k, e := range ec.m {
+			if !found || e.used < oldest {
+				victim, oldest, found = k, e.used, true
+			}
+		}
+		e := ec.m[victim]
+		delete(ec.m, victim)
+		e.dead = true
+		if e.refs == 0 {
+			e.en.Close()
+		}
+	}
+}
+
+// invalidate drops every cached engine of the named instance (all versions
+// and option fingerprints), e.g. when the instance is deleted. In-flight
+// runs keep their engine until they release it.
+func (ec *engineCache) invalidate(name string) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	for k, e := range ec.m {
+		if k.name == name {
+			delete(ec.m, k)
+			e.dead = true
+			if e.refs == 0 {
+				e.en.Close()
+			}
+		}
+	}
+}
+
+// close marks the cache closed and releases every idle engine. Engines still
+// referenced stop when their runs release them; later acquires get private,
+// uncached engines.
+func (ec *engineCache) close() {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ec.closed = true
+	for k, e := range ec.m {
+		delete(ec.m, k)
+		e.dead = true
+		if e.refs == 0 {
+			e.en.Close()
+		}
+	}
+}
+
+// EngineCacheStats is the /stats view of the engine cache.
+type EngineCacheStats struct {
+	// Workers is the per-engine worker count (sesd -parallel; 1 = sequential
+	// scoring).
+	Workers int `json:"workers"`
+	// Engines is the number of currently cached engines.
+	Engines int `json:"engines"`
+	// Hits and Misses count acquire outcomes; a high hit rate means solves
+	// are reusing the per-version precompute and worker sets.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// stats samples the cache counters.
+func (ec *engineCache) stats() EngineCacheStats {
+	ec.mu.Lock()
+	n := len(ec.m)
+	workers := ec.workers
+	ec.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	return EngineCacheStats{
+		Workers: workers,
+		Engines: n,
+		Hits:    ec.hits.Load(),
+		Misses:  ec.misses.Load(),
+	}
+}

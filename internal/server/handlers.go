@@ -45,9 +45,10 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusCreated
 	if existed {
 		// Replacing rewrites content under the same name: drop its
-		// cached results (new versions would miss anyway, but stale
-		// entries would otherwise squat in the LRU).
+		// cached results and engines (new versions would miss anyway, but
+		// stale entries would otherwise squat in the LRUs).
 		s.cache.InvalidateInstance(name)
+		s.engines.invalidate(name)
 		code = http.StatusOK
 	}
 	writeJSON(w, code, info)
@@ -79,6 +80,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.InvalidateInstance(name)
+	s.engines.invalidate(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -105,6 +107,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.InvalidateInstance(name)
+	s.engines.invalidate(name)
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -238,10 +241,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		slvErr error
 	)
 	if !s.runPooled(w, r, func() {
+		// Solves of one instance version share one scoring engine: the
+		// dense precompute and (with ScoreWorkers) the scoring worker set
+		// are paid once per version, not per request.
+		en, releaseEngine, err := s.engines.acquire(
+			engineKey{name: name, version: info.Version, opts: key.opts}, inst, opts)
+		if err != nil {
+			slvErr = err
+			return
+		}
+		defer releaseEngine()
 		// The request's context rides into the solver: a client that
 		// disconnects mid-solve frees its worker at the next periodic
 		// cancellation check instead of holding it to completion.
-		res, err := sched.ScheduleCtx(r.Context(), inst, req.K)
+		res, err := algo.WithEngine(sched, en).ScheduleCtx(r.Context(), inst, req.K)
 		if err != nil {
 			slvErr = err
 			return
@@ -300,7 +313,15 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		extErr error
 	)
 	if !s.runPooled(w, r, func() {
-		res, err := algo.ExtendCtx(r.Context(), inst, base, req.Extra, opts)
+		en, releaseEngine, err := s.engines.acquire(
+			engineKey{name: name, version: info.Version, opts: optsFingerprint(req.UserWeights, req.EventCosts)},
+			inst, opts)
+		if err != nil {
+			extErr = err
+			return
+		}
+		defer releaseEngine()
+		res, err := algo.ExtendWithEngine(r.Context(), en, base, req.Extra)
 		if err != nil {
 			extErr = err
 			return

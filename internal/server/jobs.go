@@ -464,7 +464,16 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 		j.finishCell(c, seio.CellFailed, seio.SolveResponse{}, err)
 		return
 	}
-	res, err := sched.ScheduleCtx(j.ctx, j.inst, c.k)
+	// Every cell of the sweep runs against the job's pinned version, so all
+	// of them (and any concurrent solves of that version) share one engine.
+	en, releaseEngine, err := s.engines.acquire(
+		engineKey{name: j.name, version: j.info.Version, opts: j.optsFP}, j.inst, j.opts)
+	if err != nil {
+		j.finishCell(c, seio.CellFailed, seio.SolveResponse{}, err)
+		return
+	}
+	defer releaseEngine()
+	res, err := algo.WithEngine(sched, en).ScheduleCtx(j.ctx, j.inst, c.k)
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finishCell(c, seio.CellCancelled, seio.SolveResponse{}, err)

@@ -31,6 +31,16 @@ type Config struct {
 	// MaxJobCells bounds the grid size (algorithms × k values) of one
 	// sweep job; default 256.
 	MaxJobCells int
+	// ScoreWorkers > 1 shards every solve's Eq. 4 scoring across that many
+	// goroutines per run (sesd -parallel); negative means GOMAXPROCS. 0 or
+	// 1 keeps scoring sequential. Utilities and counters are bit-identical
+	// either way. Note the interplay with Workers: up to Workers solves run
+	// concurrently, each fanning out to ScoreWorkers scoring goroutines, so
+	// Workers × ScoreWorkers at or near GOMAXPROCS is the sensible ceiling.
+	ScoreWorkers int
+	// ScoreEngines bounds the cache of per-instance-version scoring
+	// engines; default 8.
+	ScoreEngines int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +62,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobCells <= 0 {
 		c.MaxJobCells = 256
 	}
+	if c.ScoreWorkers < 0 {
+		c.ScoreWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.ScoreEngines <= 0 {
+		c.ScoreEngines = 8
+	}
 	return c
 }
 
@@ -66,12 +82,13 @@ var routes = []string{
 // Server is the sesd HTTP service: store + pool + cache + async jobs behind
 // a ServeMux.
 type Server struct {
-	cfg   Config
-	store *Store
-	pool  *Pool
-	cache *Cache
-	jobs  *Jobs
-	mux   *http.ServeMux
+	cfg     Config
+	store   *Store
+	pool    *Pool
+	cache   *Cache
+	jobs    *Jobs
+	engines *engineCache
+	mux     *http.ServeMux
 
 	started time.Time
 	counts  map[string]*atomic.Int64
@@ -92,6 +109,7 @@ func New(cfg Config) *Server {
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		cache:   NewCache(cfg.CacheSize),
 		jobs:    NewJobs(cfg.JobTTL),
+		engines: newEngineCache(cfg.ScoreWorkers, cfg.ScoreEngines),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
@@ -122,12 +140,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close cancels every async job, waits for their dispatchers, then drains
-// the worker pool (running cells observe their cancelled contexts and stop
-// at the next periodic check).
+// Close cancels every async job, waits for their dispatchers, drains the
+// worker pool (running cells observe their cancelled contexts and stop at
+// the next periodic check), then releases the cached scoring engines.
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.pool.Close()
+	s.engines.close()
 }
 
 // count bumps the request counter of the named route.
@@ -141,6 +160,7 @@ type Stats struct {
 	Cache         CacheStats       `json:"cache"`
 	Pool          PoolStats        `json:"pool"`
 	Jobs          JobsStats        `json:"jobs"`
+	Engines       EngineCacheStats `json:"engines"`
 	Work          WorkStats        `json:"work"`
 }
 
@@ -163,6 +183,7 @@ func (s *Server) Snapshot() Stats {
 		Cache:         s.cache.Stats(),
 		Pool:          s.pool.Stats(),
 		Jobs:          s.jobs.Stats(),
+		Engines:       s.engines.stats(),
 		Work: WorkStats{
 			ScoreEvals: s.scoreEvals.Load(),
 			Examined:   s.examined.Load(),

@@ -12,7 +12,17 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/score"
 )
+
+// traceEngine builds the sequential scoring engine the traces score with.
+// Using the engine — not a bare core.Scorer — matters: the engine sums in
+// fixed user shards, so traced scores associate floats exactly like the
+// algo schedulers and the "selections equal algo's exactly" assertions hold
+// at any |U|, not just below one shard.
+func traceEngine(inst *core.Instance) (*score.Engine, error) {
+	return score.New(inst, core.ScorerOptions{})
+}
 
 // Cell is one score-table entry for assignment α_e^t at some step.
 type Cell struct {
@@ -48,7 +58,10 @@ func ALG(inst *core.Instance, k int) (*Trace, error) {
 	if k <= 0 {
 		return nil, algo.ErrBadK
 	}
-	sc := core.NewScorer(inst)
+	sc, err := traceEngine(inst)
+	if err != nil {
+		return nil, err
+	}
 	s := core.NewSchedule(inst)
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
 	scores := make([]float64, nE*nT)
@@ -113,7 +126,10 @@ func HOR(inst *core.Instance, k int) (*Trace, error) {
 	if k <= 0 {
 		return nil, algo.ErrBadK
 	}
-	sc := core.NewScorer(inst)
+	sc, err := traceEngine(inst)
+	if err != nil {
+		return nil, err
+	}
 	s := core.NewSchedule(inst)
 	nE, nT := inst.NumEvents(), inst.NumIntervals()
 	tr := &Trace{Algorithm: "HOR", inst: inst}
