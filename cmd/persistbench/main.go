@@ -1,0 +1,16 @@
+// Command persistbench measures the write-ahead-log overhead of sesd's
+// store mutations: the same Put/Mutate workload against an in-memory store,
+// a WAL-backed one, and (with -fsync) one syncing every append. Emits
+// sesbench-compatible rows (-json) so cmd/benchdiff can gate the WAL-on vs
+// in-memory trajectory; see bench/baseline/README.md.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Persistbench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -16,12 +16,19 @@
 //	POST   /instances/{name}/jobs       submit an async algorithm × k sweep job
 //	GET    /jobs, GET /jobs/{id}        list jobs / poll one (partial results)
 //	DELETE /jobs/{id}                   cancel a job (running cells stop mid-solve)
-//	GET    /healthz, GET /stats         liveness and service counters
+//	GET    /healthz, GET /stats         readiness (503 during WAL replay) and service counters
+//
+// With -data-dir the service is durable: every mutation, completed solve and
+// finished job is written ahead to a segmented CRC-checksummed WAL, rolled
+// into snapshots by a background compactor, and replayed on boot to a
+// bit-identical state (names, versions, digests, cached results, finished
+// jobs) before the listener opens. See the README's "Durability" section for
+// the -fsync / -segment-bytes / -compact-every trade-offs.
 //
 // Example:
 //
 //	sesgen -k 10 -users 2000 -o fest.json
-//	sesd -addr :8080 &
+//	sesd -addr :8080 -data-dir /var/lib/sesd &
 //	curl -X PUT --data-binary @fest.json localhost:8080/instances/fest
 //	curl -X POST -d '{"algorithm":"HOR-I","k":10}' localhost:8080/instances/fest/solve
 //	curl -X POST -d '{"algorithms":["ALG","HOR-I"],"ks":[5,10]}' localhost:8080/instances/fest/jobs

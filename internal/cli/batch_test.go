@@ -20,7 +20,10 @@ import (
 // to completion and renders the grid. The printed utilities must match
 // running the algorithms directly.
 func TestSesrunBatch(t *testing.T) {
-	srv := server.New(server.Config{Workers: 2, Queue: 8})
+	srv, err := server.New(server.Config{Workers: 2, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -107,7 +110,10 @@ func TestSesrunBatchErrors(t *testing.T) {
 		t.Errorf("unreachable server: exit %d, want 1", code)
 	}
 	// Server-side rejection surfaces the error body.
-	srv := server.New(server.Config{Workers: 1, Queue: 4})
+	srv, err := server.New(server.Config{Workers: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -29,34 +30,98 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		jobTTL   = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
 		jobCells = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
 		parallel = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
+		dataDir  = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
+		fsync    = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
+		segBytes = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
+		compact  = fs.Int("compact-every", 4096, "WAL records between snapshot compactions (bounds replay cost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	srv := server.New(server.Config{
-		Workers: *workers, Queue: *queue, CacheSize: *cache,
-		JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
-	})
-	defer srv.Close()
-
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail(stderr, "sesd", err)
 	}
+	// The listener opens before recovery and serves 503 "recovering" on
+	// every route until the WAL replay completes, so orchestrators polling
+	// /healthz keep the instance out of rotation during a long replay
+	// instead of timing out on a closed port. handler is swapped to the
+	// real server once New returns.
+	// atomic.Value requires one concrete type across stores; box the handler.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	})})
 	// ReadHeaderTimeout bounds slowloris-style header trickling;
 	// IdleTimeout reclaims abandoned keep-alive connections. No
 	// ReadTimeout: large instance uploads over slow links are legitimate.
 	hs := &http.Server{
-		Handler:           srv,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(stdout, "sesd listening on %s\n", ln.Addr())
+
+	// Recovery (server.New replays the WAL) can take a while on a large
+	// data dir; run it aside the signal context so SIGINT/SIGTERM still
+	// stop the daemon mid-replay instead of being silently swallowed until
+	// recovery completes. Replay only reads (plus the torn-tail truncation,
+	// which is idempotent), so abandoning it is safe.
+	type newResult struct {
+		srv *server.Server
+		err error
+	}
+	newc := make(chan newResult, 1)
+	go func() {
+		s, err := server.New(server.Config{
+			Workers: *workers, Queue: *queue, CacheSize: *cache,
+			JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
+			DataDir: *dataDir, Fsync: *fsync, SegmentBytes: *segBytes, CompactEvery: *compact,
+		})
+		newc <- newResult{s, err}
+	}()
+	var srv *server.Server
+	select {
+	case r := <-newc:
+		if r.err != nil {
+			hs.Close()
+			return fail(stderr, "sesd", r.err)
+		}
+		srv = r.srv
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "sesd interrupted during recovery")
+		hs.Close()
+		// Release the recovery's resources whenever it finishes; the
+		// process usually exits first, which works just as well.
+		go func() {
+			if r := <-newc; r.err == nil {
+				r.srv.Close()
+			}
+		}()
+		return 0
+	}
+	defer srv.Close()
+	handler.Store(handlerBox{srv})
+	if *dataDir != "" {
+		p := srv.Snapshot().Persist
+		if p.Recovery != nil {
+			fmt.Fprintf(stdout, "sesd recovered %s: snapshot seq %d (%d records) + %d wal records across %d segment(s) in %.1fms\n",
+				*dataDir, p.Recovery.SnapshotSeq, p.Recovery.SnapshotRecords,
+				p.Recovery.Records, p.Recovery.Segments, p.RecoveryMS)
+			if p.Recovery.TornBytes > 0 {
+				fmt.Fprintf(stdout, "sesd discarded a torn wal tail of %d bytes (crash mid-append)\n", p.Recovery.TornBytes)
+			}
+		}
+	}
 
 	select {
 	case err := <-errc:

@@ -3,6 +3,8 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +58,16 @@ func TestSesdFlagAndListenErrors(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "sesd") {
 		t.Errorf("listen error not reported: %s", errb.String())
+	}
+
+	// An unusable -data-dir fails construction before the listener opens —
+	// serving with silently-disabled durability would betray the flag.
+	errb.Reset()
+	badDir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(badDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := Sesd([]string{"-addr", "127.0.0.1:0", "-data-dir", badDir}, &out, &errb); code != 1 {
+		t.Errorf("bad data dir: exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock semantics: the module
+// still builds and runs there, but the single-process-per-data-dir guarantee
+// is only enforced on unix. (sesd deploys on linux; this fallback exists so
+// cross-platform builds of the CLIs keep working.)
+func flockExclusive(*os.File) error { return nil }

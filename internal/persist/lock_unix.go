@@ -1,0 +1,15 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. The lock
+// follows the open file description: it dies with the process (a SIGKILLed
+// owner never wedges the directory) and is released by Close.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

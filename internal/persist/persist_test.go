@@ -1,0 +1,381 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/seio"
+)
+
+// deleteRec builds a small distinguishable record (payload carries n).
+func deleteRec(n int) *seio.WALRecord {
+	return &seio.WALRecord{
+		Version: seio.WALFormatVersion,
+		Kind:    seio.WALKindDelete,
+		Delete:  &seio.WALDelete{Name: fmt.Sprintf("inst-%d", n), PriorVersion: uint64(n)},
+	}
+}
+
+func collect(into *[]*seio.WALRecord) func(*seio.WALRecord) error {
+	return func(rec *seio.WALRecord) error {
+		*into = append(*into, rec)
+		return nil
+	}
+}
+
+func mustOpen(t *testing.T, opts Options, apply func(*seio.WALRecord) error) (*Log, RecoveryStats) {
+	t.Helper()
+	l, stats, err := Open(opts, apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	l, stats := mustOpen(t, opts, func(*seio.WALRecord) error {
+		t.Fatal("fresh dir replayed records")
+		return nil
+	})
+	if stats.Records != 0 || stats.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovery stats: %+v", stats)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := l.Append(deleteRec(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	var got []*seio.WALRecord
+	l2, stats := mustOpen(t, opts, collect(&got))
+	defer l2.Close()
+	if stats.Records != n || stats.TornBytes != 0 || stats.Segments != 1 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	for i, rec := range got {
+		if rec.Delete == nil || rec.Delete.PriorVersion != uint64(i) {
+			t.Fatalf("record %d replayed out of order: %+v", i, rec.Delete)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 256} // a few records per segment
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats(); s.Rotations == 0 || s.ActiveSegment < 2 {
+		t.Fatalf("no rotation after %d appends over %d-byte segments: %+v", n, opts.SegmentBytes, s)
+	}
+	l.Close()
+
+	var got []*seio.WALRecord
+	l2, stats := mustOpen(t, opts, collect(&got))
+	defer l2.Close()
+	if len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+	if stats.Segments < 2 {
+		t.Fatalf("recovery saw %d segments, want several: %+v", stats.Segments, stats)
+	}
+}
+
+// TestTornTailRecovery kills the WAL mid-append: the final record is
+// truncated to a partial frame, and recovery must restore everything up to
+// the last complete record, discard the torn tail, and leave the log
+// appendable (with the tail physically removed so later appends cannot land
+// after garbage).
+func TestTornTailRecovery(t *testing.T) {
+	for _, cut := range []int64{1, 3, 9} { // inside header, inside payload
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			opts := Options{Dir: t.TempDir()}
+			l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+			for i := 0; i < 3; i++ {
+				if err := l.Append(deleteRec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+
+			seg := filepath.Join(opts.Dir, segName(1))
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := fi.Size()
+			// Chop the last record down to `cut` bytes: frames are 8-byte
+			// header + payload, and every test record encodes identically,
+			// so the third record starts at 2/3 of the file.
+			recSize := full / 3
+			if err := os.Truncate(seg, 2*recSize+cut); err != nil {
+				t.Fatal(err)
+			}
+
+			var got []*seio.WALRecord
+			l2, stats := mustOpen(t, opts, collect(&got))
+			if len(got) != 2 {
+				t.Fatalf("recovered %d records, want 2 (torn third discarded)", len(got))
+			}
+			if stats.TornBytes != cut {
+				t.Fatalf("torn bytes %d, want %d", stats.TornBytes, cut)
+			}
+			if fi, err := os.Stat(seg); err != nil || fi.Size() != 2*recSize {
+				t.Fatalf("segment not truncated to last complete record: size %d, want %d (err %v)", fi.Size(), 2*recSize, err)
+			}
+			// The log keeps working, and the re-appended record replays.
+			if err := l2.Append(deleteRec(99)); err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+			got = nil
+			l3, stats := mustOpen(t, opts, collect(&got))
+			defer l3.Close()
+			if stats.TornBytes != 0 || len(got) != 3 || got[2].Delete.PriorVersion != 99 {
+				t.Fatalf("post-repair replay: torn=%d records=%d", stats.TornBytes, len(got))
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleSegmentFatal pins the other side of the torn-tail rule:
+// damage in a segment that is NOT the last cannot be an interrupted append
+// (the log demonstrably continued past it), so recovery must refuse instead
+// of silently dropping the segment's tail.
+func TestCorruptMiddleSegmentFatal(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 256}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	for i := 0; i < 40; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip one payload byte in the first segment.
+	seg := filepath.Join(opts.Dir, segName(1))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[12] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("recovery accepted corruption in a non-final segment")
+	}
+}
+
+// TestMissingSegmentFatal: a hole in the segment sequence is lost data, not
+// something to skip over.
+func TestMissingSegmentFatal(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 256}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	for i := 0; i < 40; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if err := os.Remove(filepath.Join(opts.Dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("recovery accepted a segment gap")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 512}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	for i := 0; i < 30; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The "state" the server would dump: two records standing in for the
+	// collapsed thirty.
+	err := l.Compact(func(write func(*seio.WALRecord) error) error {
+		if err := write(deleteRec(1000)); err != nil {
+			return err
+		}
+		return write(deleteRec(1001))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Compactions != 1 || s.LastSnapshotSeq == 0 || s.SnapshotRecords != 2 {
+		t.Fatalf("stats after compaction: %+v", s)
+	}
+	// Superseded segments are gone; the active segment and snapshot remain.
+	segs, snaps, err := scanDir(opts.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots on disk, want 1", len(snaps))
+	}
+	for _, s := range segs {
+		if s <= snaps[0] {
+			t.Fatalf("segment %d survived a snapshot covering %d", s, snaps[0])
+		}
+	}
+
+	// Post-compaction appends land after the snapshot in replay order.
+	if err := l.Append(deleteRec(2000)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var got []*seio.WALRecord
+	l2, stats := mustOpen(t, opts, collect(&got))
+	defer l2.Close()
+	if stats.SnapshotSeq != snaps[0] || stats.SnapshotRecords != 2 {
+		t.Fatalf("recovery ignored the snapshot: %+v", stats)
+	}
+	if len(got) != 3 || got[0].Delete.PriorVersion != 1000 || got[2].Delete.PriorVersion != 2000 {
+		t.Fatalf("replay order wrong: %d records", len(got))
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a damaged newest snapshot is skipped in
+// favor of an older one, as long as the WAL still covers the difference.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	for i := 0; i < 5; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(func(write func(*seio.WALRecord) error) error {
+		return write(deleteRec(100))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Corrupt the snapshot; the records it collapsed are gone, but the
+	// segments after it still exist, so recovery falls back to log-only
+	// replay of those segments (covered = 0 has no snapshot either — here
+	// the fallback target is "no snapshot", which must fail because segment
+	// 1 was purged). So first verify the skip is counted, then that the
+	// purge makes it fatal — silently recovering HALF the state would be
+	// worse than refusing.
+	snapPath := filepath.Join(opts.Dir, snapName(1))
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[10] ^= 0xFF
+	if err := os.WriteFile(snapPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(opts, collect(new([]*seio.WALRecord)))
+	if err == nil {
+		t.Fatal("recovery accepted a corrupt snapshot whose source segments were purged")
+	}
+
+	// With the active segment gone too (only the corrupt snapshot left),
+	// recovery must still refuse — booting an empty store as if the
+	// acknowledged data never existed is the one unacceptable outcome.
+	segs, err := filepath.Glob(filepath.Join(opts.Dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("recovery silently booted empty from a corrupt snapshot with no wal segments")
+	}
+}
+
+func TestFutureFormatRefused(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	l.Close()
+	// Hand-craft a "version 2" record frame in the active segment.
+	rec := deleteRec(1)
+	rec.Version = seio.WALFormatVersion + 1
+	f, err := os.OpenFile(filepath.Join(opts.Dir, segName(1)), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seio.WriteWALRecord(f, rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); !errors.Is(err, seio.ErrWALTooNew) {
+		t.Fatalf("future-format record: %v, want ErrWALTooNew (never truncate newer data)", err)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open(Options{}, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("Open accepted an empty dir")
+	}
+}
+
+// TestDirLockExcludesSecondProcess: two logs on one data directory would
+// truncate and compact each other's acknowledged writes, so the second Open
+// must fail fast while the first holds the flock, and succeed after Close.
+func TestDirLockExcludesSecondProcess(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("second Open on a locked data dir succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	l2.Close()
+}
+
+// TestCorruptionBeforeValidTailFatal: a bad frame in the FINAL segment with
+// parseable frames after it cannot be a torn tail (only the last frame can
+// be torn), so recovery must refuse instead of truncating acknowledged
+// records away.
+func TestCorruptionBeforeValidTailFatal(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	l, _ := mustOpen(t, opts, collect(new([]*seio.WALRecord)))
+	for i := 0; i < 3; i++ {
+		if err := l.Append(deleteRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seg := filepath.Join(opts.Dir, segName(1))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the SECOND record (frames are equal-sized).
+	b[len(b)/3+10] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(opts, collect(new([]*seio.WALRecord))); err == nil {
+		t.Fatal("recovery truncated a corrupt frame that had valid records after it")
+	}
+}

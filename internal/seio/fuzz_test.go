@@ -2,6 +2,7 @@ package seio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"testing"
 
@@ -100,6 +101,62 @@ func FuzzReadSchedule(f *testing.F) {
 		var out bytes.Buffer
 		if err := WriteSchedule(&out, inst, sched); err != nil {
 			t.Fatalf("accepted schedule does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadWALRecord feeds arbitrary bytes to the WAL frame reader: corrupted
+// or truncated log tails must come back as clean errors (io.ErrUnexpectedEOF
+// / ErrWALCorrupt / ErrWALTooNew — the distinctions crash recovery keys on),
+// never as panics or silently accepted garbage, matching the FuzzReadInstance
+// contract for the document formats.
+func FuzzReadWALRecord(f *testing.F) {
+	// Seed with every record kind framed for real...
+	var valid bytes.Buffer
+	for _, rec := range walTestRecords(f) {
+		var one bytes.Buffer
+		if _, err := WriteWALRecord(&one, rec); err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(one.Bytes())
+		f.Add(one.Bytes())
+	}
+	f.Add(valid.Bytes()) // ...a multi-record stream...
+	full := valid.Bytes()
+	f.Add(full[:len(full)-3])                      // ...a torn tail...
+	f.Add(append([]byte(nil), make([]byte, 8)...)) // zero-length frame
+	huge := make([]byte, 12)
+	binary.LittleEndian.PutUint32(huge, 1<<31) // over-limit declared length
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var consumed int64
+		for {
+			rec, n, err := ReadWALRecord(r)
+			consumed += n
+			if err != nil {
+				// Rejecting is always fine (panicking or over-reporting
+				// consumption is the bug); after any error the stream is
+				// unusable, stop.
+				if consumed > int64(len(data)) {
+					t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+				}
+				return
+			}
+			// An accepted record must satisfy the kind/payload invariant
+			// and survive a write→read round trip.
+			if err := rec.payloadErr(); err != nil {
+				t.Fatalf("ReadWALRecord accepted a mis-shaped record: %v", err)
+			}
+			var out bytes.Buffer
+			if _, err := WriteWALRecord(&out, rec); err != nil {
+				t.Fatalf("accepted record does not re-encode: %v", err)
+			}
+			if re, _, err := ReadWALRecord(&out); err != nil {
+				t.Fatalf("re-encoded record does not re-parse: %v", err)
+			} else if re.Kind != rec.Kind {
+				t.Fatalf("kind drifted across round trip: %q → %q", rec.Kind, re.Kind)
+			}
 		}
 	})
 }

@@ -127,6 +127,20 @@ func (c *Cache) InvalidateInstance(name string) int {
 	return n
 }
 
+// dump copies every entry in LRU→MRU order for the compactor: replaying the
+// dump through Put in this order reproduces the recency ordering, so the
+// recovered cache evicts in the same sequence the live one would have.
+func (c *Cache) dump() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, cacheEntry{key: e.key, resp: e.resp})
+	}
+	return out
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -25,7 +25,9 @@ func TestConcurrentSolveAndMutate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.Put("x", inst)
+	if _, _, err := st.Put("x", inst); err != nil {
+		t.Fatal(err)
+	}
 
 	const (
 		solvers   = 4
@@ -68,10 +70,9 @@ func TestConcurrentSolveAndMutate(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < mutations; i++ {
-			_, err := st.Mutate("x", func(in *core.Instance) error {
-				in.SetActivity(i%in.NumUsers(), i%in.NumIntervals(), float64(i%100)/100)
-				in.SetInterest(i%in.NumUsers(), i%in.NumEvents(), float64((i*7)%100)/100)
-				return nil
+			_, err := st.Mutate("x", seio.MutateRequest{
+				Activity: []seio.CellUpdate{{User: i % inst.NumUsers(), Index: i % inst.NumIntervals(), Value: float64(i%100) / 100}},
+				Interest: []seio.CellUpdate{{User: i % inst.NumUsers(), Index: i % inst.NumEvents(), Value: float64((i*7)%100) / 100}},
 			})
 			if err != nil {
 				t.Error(err)

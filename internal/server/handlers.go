@@ -12,6 +12,9 @@ import (
 	"repro/internal/sim"
 )
 
+// handleHealthz reports readiness. New finishes WAL replay before it returns
+// the Server, so a reachable handler IS a recovered one — the 503-recovering
+// phase lives in cli.Sesd, which answers for the listener while New replays.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.count("healthz")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -41,7 +44,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	info, existed := s.store.Put(name, inst)
+	info, existed, err := s.store.Put(name, inst)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
 	code := http.StatusCreated
 	if existed {
 		// Replacing rewrites content under the same name: drop its
@@ -75,7 +82,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.count("delete_instance")
 	name := r.PathValue("name")
-	if !s.store.Delete(name) {
+	ok, err := s.store.Delete(name)
+	if err != nil {
+		writeErr(w, storeErrCode(err), err)
+		return
+	}
+	if !ok {
 		writeErr(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
@@ -99,9 +111,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("empty mutation: nothing to apply"))
 		return
 	}
-	info, err := s.store.Mutate(name, func(in *core.Instance) error {
-		return applyMutation(in, req)
-	})
+	info, err := s.store.Mutate(name, req)
 	if err != nil {
 		writeErr(w, storeErrCode(err), err)
 		return
@@ -109,48 +119,6 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.cache.InvalidateInstance(name)
 	s.engines.invalidate(name)
 	writeJSON(w, http.StatusOK, info)
-}
-
-// applyMutation validates and applies one MutateRequest to a private
-// copy-on-write successor; any error discards the whole batch.
-func applyMutation(in *core.Instance, req seio.MutateRequest) error {
-	checkCell := func(kind string, u seio.CellUpdate, max int) error {
-		if u.User < 0 || u.User >= in.NumUsers() {
-			return fmt.Errorf("%s update: user %d out of range (have %d users)", kind, u.User, in.NumUsers())
-		}
-		if u.Index < 0 || u.Index >= max {
-			return fmt.Errorf("%s update: index %d out of range (have %d)", kind, u.Index, max)
-		}
-		if u.Value < 0 || u.Value > 1 {
-			return fmt.Errorf("%s update: value %v out of [0,1]", kind, u.Value)
-		}
-		return nil
-	}
-	for _, u := range req.Interest {
-		if err := checkCell("interest", u, in.NumEvents()); err != nil {
-			return err
-		}
-		in.SetInterest(u.User, u.Index, u.Value)
-	}
-	for _, u := range req.CompetingInterest {
-		if err := checkCell("competing_interest", u, in.NumCompeting()); err != nil {
-			return err
-		}
-		in.SetCompetingInterest(u.User, u.Index, u.Value)
-	}
-	for _, u := range req.Activity {
-		if err := checkCell("activity", u, in.NumIntervals()); err != nil {
-			return err
-		}
-		in.SetActivity(u.User, u.Index, u.Value)
-	}
-	for _, nc := range req.AddCompeting {
-		c := core.Competing{Name: nc.Name, Interval: nc.Interval}
-		if err := in.AddCompeting(c, nc.Interest); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // runPooled submits work to the solver pool and waits for it or for the
@@ -271,6 +239,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			ElapsedMS:  seio.DurationMS(res.Elapsed),
 		}
 		s.cache.Put(key, resp)
+		s.appendSolveRecord(key, resp)
 	}) {
 		return
 	}

@@ -35,6 +35,7 @@ type jobCell struct {
 // the same version.
 type Job struct {
 	id     string
+	seq    uint64 // numeric ID sequence value, logged for recovery
 	name   string
 	inst   *core.Instance
 	info   seio.InstanceInfo
@@ -71,8 +72,8 @@ func (j *Job) begin(c *jobCell) bool {
 // never be demoted to cancelled.
 func (j *Job) finishCell(c *jobCell, state string, resp seio.SolveResponse, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if c.state != seio.CellRunning {
+		j.mu.Unlock()
 		return
 	}
 	c.state = state
@@ -81,7 +82,11 @@ func (j *Job) finishCell(c *jobCell, state string, resp seio.SolveResponse, err 
 		c.errMsg = err.Error()
 	}
 	j.js.countCell(state)
-	j.maybeFinishLocked()
+	finished := j.maybeFinishLocked()
+	j.mu.Unlock()
+	if finished {
+		j.js.notifyFinished(j)
+	}
 }
 
 // cancelQueued sweeps every still-queued cell to cancelled. Running cells
@@ -90,7 +95,6 @@ func (j *Job) finishCell(c *jobCell, state string, resp seio.SolveResponse, err 
 // know a prefix was already handed to the pool.
 func (j *Job) cancelQueued(from int) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	for _, c := range j.cells[from:] {
 		if c.state == seio.CellQueued {
 			c.state = seio.CellCancelled
@@ -98,18 +102,23 @@ func (j *Job) cancelQueued(from int) {
 			j.js.countCell(seio.CellCancelled)
 		}
 	}
-	j.maybeFinishLocked()
+	finished := j.maybeFinishLocked()
+	j.mu.Unlock()
+	if finished {
+		j.js.notifyFinished(j)
+	}
 }
 
 // maybeFinishLocked records the job's completion time once no cell is
-// queued or running. Callers hold j.mu.
-func (j *Job) maybeFinishLocked() {
+// queued or running, reporting whether this call made the transition (the
+// caller then fires the finish notification outside j.mu). Callers hold j.mu.
+func (j *Job) maybeFinishLocked() bool {
 	if !j.finished.IsZero() {
-		return
+		return false
 	}
 	for _, c := range j.cells {
 		if c.state == seio.CellQueued || c.state == seio.CellRunning {
-			return
+			return false
 		}
 	}
 	j.finished = time.Now()
@@ -117,6 +126,7 @@ func (j *Job) maybeFinishLocked() {
 	// Release the job's context resources; every cell is terminal, so
 	// nothing observes the cancellation.
 	j.cancel()
+	return true
 }
 
 // status snapshots the job as a wire message; includeCells selects the full
@@ -169,10 +179,21 @@ func (j *Job) status(includeCells bool) seio.JobStatusMsg {
 type Jobs struct {
 	ttl time.Duration
 
+	// onFinish, when set (before traffic), is called once per job — on the
+	// goroutine that retired its last cell, outside any lock — the moment
+	// the job reaches a terminal state. The persistence layer hooks it to
+	// log the finished job.
+	onFinish func(*Job)
+
 	mu   sync.Mutex
 	m    map[string]*Job
 	seq  uint64
 	done bool // Close was called; no new jobs
+	// expired collects, during boot replay only, job IDs whose terminal
+	// record had already outlived the TTL: their submit-form records (which
+	// carry no timestamp and replay in either order relative to the
+	// snapshot) must not resurrect them.
+	expired map[string]struct{}
 
 	wg sync.WaitGroup // job dispatcher goroutines
 
@@ -224,11 +245,160 @@ func (js *Jobs) add(j *Job) error {
 	}
 	js.purgeLocked(time.Now())
 	js.seq++
+	j.seq = js.seq
 	j.id = fmt.Sprintf("job-%d", js.seq)
 	js.m[j.id] = j
 	js.submitted.Add(1)
 	js.wg.Add(1)
 	return nil
+}
+
+// notifyFinished fires the finish hook; called outside all locks.
+func (js *Jobs) notifyFinished(j *Job) {
+	if js.onFinish != nil {
+		js.onFinish(j)
+	}
+}
+
+// abortUnstarted unregisters a job whose dispatcher never launched (the
+// submit-time WAL append failed), releasing the WaitGroup slot add reserved
+// for it and rolling back the submission counter — the job never existed as
+// far as clients or /stats are concerned. The consumed ID sequence value is
+// simply skipped. (A compaction racing this window can still capture the
+// job, so a later crash may recover it as a cancelled entry under an ID no
+// client holds — the same harmless ghost any crash between a WAL append and
+// its HTTP response can leave, for instances as much as jobs.)
+func (js *Jobs) abortUnstarted(id string) {
+	js.mu.Lock()
+	delete(js.m, id)
+	js.mu.Unlock()
+	js.submitted.Add(-1)
+	js.wg.Done()
+}
+
+// restoreSeq advances the ID sequence to at least seq (snapshot meta replay),
+// so post-recovery submissions can never collide with logged job IDs.
+func (js *Jobs) restoreSeq(seq uint64) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.seq < seq {
+		js.seq = seq
+	}
+}
+
+// restore re-installs a logged job. Jobs are logged twice: at submit (their
+// ID sequence value must survive a crash mid-run, or a post-restart
+// submission would reuse a live client's job ID) and at finish (the terminal
+// status with cells, results, elapsed time and finish wall-time). A
+// submit-record job whose finish was never logged recovers as cancelled —
+// the crash stopped it — and stays pollable under its original ID. Terminal
+// records take precedence: they overwrite a submit-record restoration (log
+// order puts them later), while a submit record never downgrades an
+// already-restored terminal job (the snapshot may hold the finished form of
+// a job whose submit record still sits in the replayed segment).
+//
+// Retention honors the original finish wall-time when the record carries
+// one: a job the live server already purged must not resurrect after a
+// crash, and a retained one keeps its remaining TTL instead of a fresh one.
+// Records without a timestamp (crash-cancelled submit forms) count their TTL
+// from recovery — the crash is when they effectively finished.
+func (js *Jobs) restore(seq uint64, msg seio.JobStatusMsg, finishedAtMS int64) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.seq < seq {
+		js.seq = seq
+	}
+	if msg.Status == seio.JobRunning {
+		if _, ok := js.m[msg.ID]; ok {
+			return // submit record for a job the snapshot already finished
+		}
+		if _, gone := js.expired[msg.ID]; gone {
+			return // submit record for a job whose retention already lapsed
+		}
+	}
+	finished := time.Now()
+	if finishedAtMS > 0 {
+		finished = time.UnixMilli(finishedAtMS)
+		if time.Since(finished) > js.ttl {
+			// Expired before the crash: stay expired. Drop any submit-form
+			// restoration of the same ID and remember it, so neither replay
+			// order resurrects the job.
+			delete(js.m, msg.ID)
+			if js.expired == nil {
+				js.expired = make(map[string]struct{})
+			}
+			js.expired[msg.ID] = struct{}{}
+			return
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every cell is terminal; nothing observes the context
+	elapsed := time.Duration(msg.ElapsedMS * float64(time.Millisecond))
+	j := &Job{
+		id:        msg.ID,
+		seq:       seq,
+		name:      msg.Instance.Name,
+		info:      msg.Instance,
+		ctx:       ctx,
+		cancel:    cancel,
+		js:        js,
+		cancelled: msg.Status == seio.JobCancelled,
+		created:   finished.Add(-elapsed),
+		finished:  finished,
+	}
+	for _, cm := range msg.Cells {
+		c := &jobCell{algorithm: cm.Algorithm, k: cm.K, state: cm.State, errMsg: cm.Error}
+		if cm.Result != nil {
+			c.resp = *cm.Result
+		}
+		// Only finished jobs are logged, so active states cannot appear —
+		// but a hand-edited log must not resurrect a "running" cell no
+		// worker owns.
+		if c.state == seio.CellQueued || c.state == seio.CellRunning {
+			c.state = seio.CellCancelled
+		}
+		j.cells = append(j.cells, c)
+	}
+	js.m[msg.ID] = j
+}
+
+// finishedAt reads the job's completion time (zero while running).
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// seqSnapshot reads the current ID sequence for a snapshot's meta record.
+func (js *Jobs) seqSnapshot() uint64 {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.seq
+}
+
+// dumpJobs snapshots every retained job for the compactor, in submission
+// order. Active jobs are included in their current (running) form: their
+// submit record may live in a segment this compaction deletes, and without a
+// copy in the snapshot a crash before their finish record would 404 the ID a
+// client is still polling (restore clamps the running form to cancelled; the
+// finish record, if the job completes, supersedes it on replay).
+func (js *Jobs) dumpJobs() []seio.WALJob {
+	js.mu.Lock()
+	jobs := make([]*Job, 0, len(js.m))
+	for _, j := range js.m {
+		jobs = append(jobs, j)
+	}
+	js.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]seio.WALJob, 0, len(jobs))
+	for _, j := range jobs {
+		wj := seio.WALJob{Seq: j.seq, Status: j.status(true)}
+		if fin := j.finishedAt(); !fin.IsZero() {
+			wj.FinishedAtMS = fin.UnixMilli()
+		}
+		out = append(out, wj)
+	}
+	return out
 }
 
 // Get returns the job with the given ID.
@@ -408,6 +578,20 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	// Log the submission before any cell runs: the job's ID sequence value
+	// must survive a crash mid-sweep, or a post-restart submission would
+	// hand this job's ID to a different client (the in-flight job itself
+	// recovers as cancelled; its finish record, if reached, supersedes). A
+	// failed append refuses the submission for the same reason the store
+	// refuses unlogged mutations — an unlogged ID is a recyclable ID.
+	if s.wal != nil {
+		if err := s.appendJobRecord(j); err != nil {
+			cancel()
+			s.jobs.abortUnstarted(j.id)
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("%w: %v", ErrWALAppend, err))
+			return
+		}
+	}
 	s.startJob(j)
 	writeJSON(w, http.StatusAccepted, j.status(true))
 }
@@ -494,6 +678,7 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 		ElapsedMS:  seio.DurationMS(res.Elapsed),
 	}
 	s.cache.Put(key, resp)
+	s.appendSolveRecord(key, resp)
 	j.finishCell(c, seio.CellDone, resp, nil)
 }
 

@@ -344,7 +344,10 @@ func TestJobTTL(t *testing.T) {
 }
 
 func ExampleServer_jobs() {
-	s := New(Config{Workers: 1, Queue: 4})
+	s, err := New(Config{Workers: 1, Queue: 4})
+	if err != nil {
+		panic(err)
+	}
 	defer s.Close()
 	fmt.Println(len(s.jobs.List()))
 	// Output: 0

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/seio"
 )
 
@@ -41,6 +43,22 @@ type Config struct {
 	// ScoreEngines bounds the cache of per-instance-version scoring
 	// engines; default 8.
 	ScoreEngines int
+	// DataDir, when non-empty, makes the service durable: every store
+	// mutation, completed solve and finished job is written ahead to a
+	// segmented WAL in this directory, compacted into snapshots, and
+	// replayed on boot before the server takes traffic. Empty keeps today's
+	// memory-only behavior.
+	DataDir string
+	// Fsync syncs the WAL after every append (durable against power loss,
+	// not just process death). Off by default: a SIGKILL loses nothing
+	// either way, only an OS crash can eat the last unflushed records.
+	Fsync bool
+	// SegmentBytes rolls the WAL to a fresh segment past this size;
+	// default 64 MiB.
+	SegmentBytes int64
+	// CompactEvery rolls the segments into a full snapshot after this many
+	// WAL records, bounding replay cost; default 4096.
+	CompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScoreEngines <= 0 {
 		c.ScoreEngines = 8
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 4096
 	}
 	return c
 }
@@ -97,11 +118,29 @@ type Server struct {
 	// lifecycle test observes "no new scorer work".
 	scoreEvals atomic.Int64
 	examined   atomic.Int64
+
+	// Durability (nil / zero when running memory-only). Replay completes
+	// inside New, before the Server is ever handed to a listener, so no
+	// request can observe a half-recovered store; the user-visible
+	// "503 recovering" phase is served by cli.Sesd while New replays.
+	wal              *persist.Log
+	recovery         *persist.RecoveryStats
+	recoveryMS       float64
+	walSinceSnap     atomic.Int64
+	walAppendErrors  atomic.Int64
+	walCompactErrors atomic.Int64
+	compactKick      chan struct{}
+	compactQuit      chan struct{}
+	compactWG        sync.WaitGroup
 }
 
-// New builds a ready-to-serve Server. Callers must Close it to stop the
-// worker pool.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. With cfg.DataDir set it first recovers
+// the durable state (store, result cache, finished jobs) from the WAL and
+// snapshots there — bit-identical names, versions and digests — and attaches
+// the log so new mutations are written ahead; recovery problems fail
+// construction rather than serve from a partial state. Callers must Close it
+// to stop the worker pool (and seal the WAL).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -113,6 +152,14 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
+	}
+	if cfg.DataDir != "" {
+		if err := s.openPersistence(); err != nil {
+			s.jobs.Close()
+			s.pool.Close()
+			s.engines.close()
+			return nil, err
+		}
 	}
 	for _, r := range routes {
 		s.counts[r] = new(atomic.Int64)
@@ -132,7 +179,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -142,11 +189,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close cancels every async job, waits for their dispatchers, drains the
 // worker pool (running cells observe their cancelled contexts and stop at
-// the next periodic check), then releases the cached scoring engines.
+// the next periodic check), releases the cached scoring engines, and seals
+// the WAL — after the drain, so every finished result had its chance to log.
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.pool.Close()
 	s.engines.close()
+	s.closePersistence()
 }
 
 // count bumps the request counter of the named route.
@@ -162,6 +211,7 @@ type Stats struct {
 	Jobs          JobsStats        `json:"jobs"`
 	Engines       EngineCacheStats `json:"engines"`
 	Work          WorkStats        `json:"work"`
+	Persist       PersistStats     `json:"persist"`
 }
 
 // WorkStats totals the solver work executed since startup.
@@ -184,6 +234,7 @@ func (s *Server) Snapshot() Stats {
 		Pool:          s.pool.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Engines:       s.engines.stats(),
+		Persist:       s.persistStats(),
 		Work: WorkStats{
 			ScoreEvals: s.scoreEvals.Load(),
 			Examined:   s.examined.Load(),
@@ -217,10 +268,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// storeErrCode maps store errors to HTTP statuses.
+// storeErrCode maps store errors to HTTP statuses. WAL append failures are
+// the server's fault (disk trouble), not the client's.
 func storeErrCode(err error) int {
-	if errors.Is(err, ErrNotFound) {
+	switch {
+	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrWALAppend):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }

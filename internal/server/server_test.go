@@ -30,7 +30,10 @@ func testInstanceJSON(t *testing.T, k, users int, seed uint64) []byte {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -388,7 +391,10 @@ func TestSolveWithOptions(t *testing.T) {
 }
 
 func ExampleServer() {
-	s := New(Config{Workers: 1, Queue: 1})
+	s, err := New(Config{Workers: 1, Queue: 1})
+	if err != nil {
+		panic(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
