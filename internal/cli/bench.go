@@ -142,7 +142,7 @@ func figureMetrics(id string) []string {
 		return []string{"utility", "computations", "time"}
 	case "6", "7", "9", "competing", "resources", "variants":
 		return []string{"utility", "time"}
-	case "8", "8a", "8b", "10a":
+	case "8", "8a", "8b", "10a", "sparse":
 		return []string{"time"}
 	case "10b":
 		return []string{"examined"}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/seio"
 )
@@ -24,6 +25,8 @@ func Sesgen(args []string, stdout, stderr io.Writer) int {
 		cmin      = fs.Int("competing-min", 0, "override competing events per interval, lower bound")
 		cmax      = fs.Int("competing-max", 0, "override competing events per interval, upper bound (0 = default U[1,16])")
 		cscale    = fs.Float64("competing-scale", 0, "scale competing-event interests (synthetic datasets; 0 = 1.0)")
+		density   = fs.Float64("density", 0, "interest density for synthetic datasets: keep each µ cell with this probability (0 or 1 = fully dense)")
+		rep       = fs.String("rep", "auto", "interest representation: auto|dense|sparse (auto picks sparse below 25% measured density)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		out       = fs.String("o", "", "output file (default stdout)")
 		stats     = fs.Bool("stats", false, "print dataset statistics (interest spread, sparsity, competing mass)")
@@ -31,11 +34,16 @@ func Sesgen(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	r, err := core.ParseRep(*rep)
+	if err != nil {
+		return fail(stderr, "sesgen", err)
+	}
 	inst, err := dataset.ByName(*ds, dataset.Params{
 		K: *k, NumUsers: *users, Seed: *seed,
 		NumEvents: *events, NumIntervals: *intervals, NumLocations: *locations,
 		CompetingMin: *cmin, CompetingMax: *cmax,
 		CompetingInterestScale: *cscale,
+		Density:                *density, Rep: r,
 	})
 	if err != nil {
 		return fail(stderr, "sesgen", err)
@@ -52,8 +60,12 @@ func Sesgen(args []string, stdout, stderr io.Writer) int {
 	if err := seio.WriteInstance(w, inst); err != nil {
 		return fail(stderr, "sesgen", err)
 	}
-	fmt.Fprintf(stderr, "sesgen: %s instance with |E|=%d |T|=%d |C|=%d |U|=%d\n",
-		*ds, inst.NumEvents(), inst.NumIntervals(), inst.NumCompeting(), inst.NumUsers())
+	repNote := "dense"
+	if inst.IsSparse() {
+		repNote = fmt.Sprintf("sparse, %d nonzeros", inst.InterestNonzeros())
+	}
+	fmt.Fprintf(stderr, "sesgen: %s instance with |E|=%d |T|=%d |C|=%d |U|=%d (%s)\n",
+		*ds, inst.NumEvents(), inst.NumIntervals(), inst.NumCompeting(), inst.NumUsers(), repNote)
 	if *stats {
 		fmt.Fprintf(stderr, "sesgen: %s\n", dataset.Measure(inst))
 	}

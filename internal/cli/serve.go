@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/seio"
 	"repro/internal/server"
 )
 
@@ -30,6 +31,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		jobTTL   = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
 		jobCells = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
 		parallel = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
+		maxBody  = fs.Int64("max-body-mb", 256, "request body limit in MiB (a 1M-user sparse upload at 5% density is ~600 MiB)")
 		dataDir  = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
 		fsync    = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
 		segBytes = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
@@ -37,6 +39,21 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// A durable store logs every accepted upload as one WAL record, whose
+	// payload (the re-encoded instance document plus a small wrapper) is
+	// capped at seio.MaxWALRecordBytes. A body limit above that cap would
+	// admit uploads that then always fail WAL append with a 500; clamp it so
+	// the misconfiguration is visible at startup rather than at the first
+	// big PUT. (The re-encoded document can differ slightly in size from
+	// the uploaded bytes, so this is a foot-gun guard, not a guarantee —
+	// an upload whose re-encode still exceeds the record cap fails the PUT
+	// with the WAL-append 500, same as before.)
+	if *dataDir != "" {
+		if limit := int64(seio.MaxWALRecordBytes>>20) - 1; *maxBody > limit {
+			fmt.Fprintf(stderr, "sesd: -max-body-mb %d exceeds the durable WAL record cap; clamping to %d\n", *maxBody, limit)
+			*maxBody = limit
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -85,7 +102,8 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		s, err := server.New(server.Config{
 			Workers: *workers, Queue: *queue, CacheSize: *cache,
 			JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
-			DataDir: *dataDir, Fsync: *fsync, SegmentBytes: *segBytes, CompactEvery: *compact,
+			MaxBodyBytes: *maxBody << 20,
+			DataDir:      *dataDir, Fsync: *fsync, SegmentBytes: *segBytes, CompactEvery: *compact,
 		})
 		newc <- newResult{s, err}
 	}()

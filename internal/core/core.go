@@ -10,11 +10,13 @@
 // marginal assignment score (Eq. 4) that every algorithm in internal/algo is
 // built on.
 //
-// Interest and activity values are stored as dense float32 matrices (users ×
-// events and users × intervals): every algorithm touches every user for every
-// score computation, so a flat dense layout with float64 accumulation is both
-// the fastest and the most faithful representation of the paper's cost model
-// ("|U| computations per assignment score").
+// Interest values are stored event-major, either as a dense float32 matrix
+// or — for the highly sparse interest structure of the real datasets — as
+// per-event nonzero lists (see sparse.go); activity is a dense float32
+// matrix. Every score computation is one pass over an event's users (the
+// paper's "|U| computations per assignment score"), and the sparse kernels
+// reproduce the dense float64 accumulation bit for bit while touching only
+// nonzeros.
 package core
 
 import (
@@ -81,10 +83,15 @@ type Instance struct {
 
 	numUsers int
 	// interest holds |E|+|C| columns of numUsers values each:
-	// interest[h*numUsers + u] is µ(u, h).
+	// interest[h*numUsers + u] is µ(u, h). nil when the instance is sparse.
 	interest []float32
+	// sparse, when non-nil, replaces the dense interest matrix with
+	// per-column nonzero lists (see sparse.go); interest is then nil.
+	sparse []SparseCol
 	// activity holds |T| columns of numUsers values each:
-	// activity[t*numUsers + u] is σ(u, t).
+	// activity[t*numUsers + u] is σ(u, t). Activity stays dense in both
+	// representations: |T| is small (3k/2), so the σ matrix is a sliver of
+	// the dense interest footprint, and every Eq. 4 pass reads it anyway.
 	activity []float32
 
 	// sharedInterest / sharedActivity mark the matrices as shared with a
@@ -97,27 +104,8 @@ type Instance struct {
 // matrices. Callers fill them with SetInterest / SetCompetingInterest /
 // SetActivity or the bulk row accessors.
 func NewInstance(events []Event, intervals []Interval, competing []Competing, numUsers int, theta float64) (*Instance, error) {
-	if len(events) == 0 {
-		return nil, errors.New("core: instance needs at least one candidate event")
-	}
-	if len(intervals) == 0 {
-		return nil, errors.New("core: instance needs at least one time interval")
-	}
-	if numUsers <= 0 {
-		return nil, errors.New("core: instance needs at least one user")
-	}
-	if theta < 0 {
-		return nil, fmt.Errorf("core: negative available resources θ = %v", theta)
-	}
-	for i, c := range competing {
-		if c.Interval < 0 || c.Interval >= len(intervals) {
-			return nil, fmt.Errorf("core: competing event %d references interval %d, have %d intervals", i, c.Interval, len(intervals))
-		}
-	}
-	for i, e := range events {
-		if e.Resources < 0 {
-			return nil, fmt.Errorf("core: event %d has negative required resources ξ = %v", i, e.Resources)
-		}
+	if err := validateShape(events, intervals, competing, numUsers, theta); err != nil {
+		return nil, err
 	}
 	return &Instance{
 		Events:    events,
@@ -128,6 +116,34 @@ func NewInstance(events []Event, intervals []Interval, competing []Competing, nu
 		interest:  make([]float32, numUsers*(len(events)+len(competing))),
 		activity:  make([]float32, numUsers*len(intervals)),
 	}, nil
+}
+
+// validateShape checks the structural constructor arguments shared by the
+// dense and sparse constructors and the Builder.
+func validateShape(events []Event, intervals []Interval, competing []Competing, numUsers int, theta float64) error {
+	if len(events) == 0 {
+		return errors.New("core: instance needs at least one candidate event")
+	}
+	if len(intervals) == 0 {
+		return errors.New("core: instance needs at least one time interval")
+	}
+	if numUsers <= 0 {
+		return errors.New("core: instance needs at least one user")
+	}
+	if theta < 0 {
+		return fmt.Errorf("core: negative available resources θ = %v", theta)
+	}
+	for i, c := range competing {
+		if c.Interval < 0 || c.Interval >= len(intervals) {
+			return fmt.Errorf("core: competing event %d references interval %d, have %d intervals", i, c.Interval, len(intervals))
+		}
+	}
+	for i, e := range events {
+		if e.Resources < 0 {
+			return fmt.Errorf("core: event %d has negative required resources ξ = %v", i, e.Resources)
+		}
+	}
+	return nil
 }
 
 // NumUsers returns |U|.
@@ -143,9 +159,18 @@ func (in *Instance) NumIntervals() int { return len(in.Intervals) }
 func (in *Instance) NumCompeting() int { return len(in.Competing) }
 
 // interestCol returns the contiguous user column of interest value h
-// (candidate event index, or len(Events)+competing index).
+// (candidate event index, or len(Events)+competing index). Dense instances
+// only; sparse callers iterate in.sparse[h] instead.
 func (in *Instance) interestCol(h int) []float32 {
 	return in.interest[h*in.numUsers : (h+1)*in.numUsers]
+}
+
+// interestAt returns µ(u, h) in either representation.
+func (in *Instance) interestAt(user, h int) float64 {
+	if in.sparse != nil {
+		return float64(in.sparse[h].get(user))
+	}
+	return float64(in.interest[h*in.numUsers+user])
 }
 
 // activityCol returns the contiguous user column of interval t.
@@ -153,14 +178,15 @@ func (in *Instance) activityCol(t int) []float32 {
 	return in.activity[t*in.numUsers : (t+1)*in.numUsers]
 }
 
-// Interest returns µ(u, e) for candidate event e.
+// Interest returns µ(u, e) for candidate event e. On a sparse instance the
+// lookup is a binary search of the event's nonzero list.
 func (in *Instance) Interest(user, event int) float64 {
-	return float64(in.interest[event*in.numUsers+user])
+	return in.interestAt(user, event)
 }
 
 // CompetingInterest returns µ(u, c) for competing event c.
 func (in *Instance) CompetingInterest(user, comp int) float64 {
-	return float64(in.interest[(len(in.Events)+comp)*in.numUsers+user])
+	return in.interestAt(user, len(in.Events)+comp)
 }
 
 // Activity returns σ(u, t), the social activity probability of user u
@@ -174,14 +200,23 @@ func (in *Instance) Activity(user, interval int) float64 {
 // the hot generator path cheap (the only per-call check is the predictable
 // copy-on-write ownership test).
 func (in *Instance) SetInterest(user, event int, v float64) {
-	in.ownInterest()
-	in.interest[event*in.numUsers+user] = float32(v)
+	in.setInterestAt(user, event, float32(v))
 }
 
 // SetCompetingInterest sets µ(u, c) for competing event c.
 func (in *Instance) SetCompetingInterest(user, comp int, v float64) {
+	in.setInterestAt(user, len(in.Events)+comp, float32(v))
+}
+
+// setInterestAt writes µ(u, h) in either representation. Sparse columns never
+// store explicit zeros: a zero write removes the entry.
+func (in *Instance) setInterestAt(user, h int, v float32) {
 	in.ownInterest()
-	in.interest[(len(in.Events)+comp)*in.numUsers+user] = float32(v)
+	if in.sparse != nil {
+		in.sparse[h].set(user, v)
+		return
+	}
+	in.interest[h*in.numUsers+user] = v
 }
 
 // SetActivity sets σ(u, t).
@@ -199,6 +234,12 @@ func (in *Instance) SetInterestRow(user int, row []float32) {
 		panic(fmt.Sprintf("core: interest row has %d values, want %d", len(row), len(in.Events)+len(in.Competing)))
 	}
 	in.ownInterest()
+	if in.sparse != nil {
+		for h, v := range row {
+			in.sparse[h].set(user, v)
+		}
+		return
+	}
 	for h, v := range row {
 		in.interest[h*in.numUsers+user] = v
 	}
@@ -218,6 +259,12 @@ func (in *Instance) SetActivityRow(user int, row []float32) {
 // CopyInterestRow gathers user u's interest row into dst (length
 // |E|+|C|), for serialization.
 func (in *Instance) CopyInterestRow(user int, dst []float32) {
+	if in.sparse != nil {
+		for h := range dst {
+			dst[h] = in.sparse[h].get(user)
+		}
+		return
+	}
 	for h := range dst {
 		dst[h] = in.interest[h*in.numUsers+user]
 	}
@@ -248,16 +295,41 @@ func (in *Instance) CompetingAt(interval int) []int {
 // resource budget (otherwise every schedule is empty and the instance is
 // almost certainly a construction mistake).
 func (in *Instance) Validate() error {
+	// The in-range check is written as a negated conjunction so NaN — for
+	// which both v < 0 and v > 1 are false — fails it too: one NaN cell
+	// would otherwise poison every utility downstream.
+	if in.sparse != nil {
+		for h := range in.sparse {
+			if err := in.sparse[h].validate(h, in.numUsers); err != nil {
+				return err
+			}
+			for i, v := range in.sparse[h].Mu {
+				if !(v >= 0 && v <= 1) {
+					return fmt.Errorf("core: interest value %v for user %d, column %d out of [0,1]", v, in.sparse[h].Users[i], h)
+				}
+			}
+		}
+	}
 	for i, v := range in.interest {
-		if v < 0 || v > 1 {
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("core: interest value %v for user %d out of [0,1]", v, i%in.numUsers)
 		}
 	}
 	for i, v := range in.activity {
-		if v < 0 || v > 1 {
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("core: activity value %v for user %d out of [0,1]", v, i%in.numUsers)
 		}
 	}
+	return in.ValidateStructure()
+}
+
+// ValidateStructure checks only the non-matrix invariants of Validate:
+// competing events bound to existing intervals, non-negative resource
+// requirements, and at least one event fitting the θ budget. Decode paths
+// that have already validated every matrix cell (seio.ReadInstance names the
+// offending cell itself) call this instead of Validate to avoid a redundant
+// full-matrix re-scan on million-user uploads.
+func (in *Instance) ValidateStructure() error {
 	anyFits := false
 	for _, e := range in.Events {
 		if e.Resources < 0 {

@@ -1,11 +1,16 @@
 package core
 
+import "sort"
+
 // scoreUserRange computes the Eq. 4 gain restricted to users [lo, hi): the
 // branch-free kernel behind Score and the exported shard primitive
 // ScoreUsers. Score is scoreUserRange over the full range minus the event
 // cost; the internal/score engine calls it per user shard.
 func (sc *Scorer) scoreUserRange(s *Schedule, e, t, lo, hi int) float64 {
 	inst := sc.inst
+	if inst.sparse != nil {
+		return sc.scoreUserRangeSparse(s, e, t, lo, hi)
+	}
 	mu := inst.interestCol(e)[lo:hi]
 	act := sc.scoreActivityCol(t)[lo:hi]
 	comp := sc.compSum[t]
@@ -37,6 +42,62 @@ func (sc *Scorer) scoreUserRange(s *Schedule, e, t, lo, hi int) float64 {
 		for u, mf := range mu {
 			a := assigned[u]
 			m := float64(mf)
+			oldD := comp[u] + a
+			gain += float64(act[u]) * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
+		}
+	}
+	return gain
+}
+
+// scoreUserRangeSparse is scoreUserRange over a sparse interest column: it
+// iterates only the column's nonzeros inside [lo, hi), in ascending user
+// order. The result is bit-identical to the dense kernel because every µ = 0
+// term there contributes exactly +0.0 to the accumulator:
+//
+//   - cases 1-2: m/(·+m+ε) is +0 for m = 0, and act·(+0) is +0;
+//   - cases 3-4: a+m and the old denominator are exactly a and oldD when
+//     m = 0, so the bracket is x−x = +0;
+//
+// and adding +0.0 to any float64 the accumulator can hold is an exact no-op
+// (the accumulator is never −0.0: it starts at +0.0 and every skipped term
+// is +0.0). Skipping zeros therefore changes nothing but the work done,
+// which is what makes sparse and dense runs — and every worker count of the
+// internal/score engine, whose fixed 8192-user shards call this through
+// ScoreUsers — report identical utilities and schedules.
+func (sc *Scorer) scoreUserRangeSparse(s *Schedule, e, t, lo, hi int) float64 {
+	inst := sc.inst
+	col := inst.sparse[e]
+	start := sort.Search(len(col.Users), func(i int) bool { return int(col.Users[i]) >= lo })
+	act := sc.scoreActivityCol(t)
+	comp := sc.compSum[t]
+	assigned := s.assignedInterestSum(t)
+
+	gain := 0.0
+	switch {
+	case comp == nil && assigned == nil:
+		for i := start; i < len(col.Users) && int(col.Users[i]) < hi; i++ {
+			u := int(col.Users[i])
+			m := float64(col.Mu[i])
+			gain += float64(act[u]) * m / (m + denomEps)
+		}
+	case assigned == nil:
+		for i := start; i < len(col.Users) && int(col.Users[i]) < hi; i++ {
+			u := int(col.Users[i])
+			m := float64(col.Mu[i])
+			gain += float64(act[u]) * m / (comp[u] + m + denomEps)
+		}
+	case comp == nil:
+		for i := start; i < len(col.Users) && int(col.Users[i]) < hi; i++ {
+			u := int(col.Users[i])
+			a := assigned[u]
+			m := float64(col.Mu[i])
+			gain += float64(act[u]) * ((a+m)/(a+m+denomEps) - a/(a+denomEps))
+		}
+	default:
+		for i := start; i < len(col.Users) && int(col.Users[i]) < hi; i++ {
+			u := int(col.Users[i])
+			a := assigned[u]
+			m := float64(col.Mu[i])
 			oldD := comp[u] + a
 			gain += float64(act[u]) * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
 		}

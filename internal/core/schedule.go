@@ -127,9 +127,7 @@ func (s *Schedule) Assign(e, t int) error {
 		sum = make([]float64, s.inst.NumUsers())
 		s.assignedSum[t] = sum
 	}
-	for u, v := range s.inst.interestCol(e) {
-		sum[u] += float64(v)
-	}
+	s.inst.addInterestColInto(e, sum)
 	s.order = append(s.order, Assignment{Event: e, Interval: t})
 	return nil
 }
@@ -160,10 +158,7 @@ func (s *Schedule) UnassignLast() error {
 	ev := s.inst.Events[e]
 	s.usedResources[t] -= ev.Resources
 	delete(s.locations[t], ev.Location)
-	sum := s.assignedSum[t]
-	for u, v := range s.inst.interestCol(e) {
-		sum[u] -= float64(v)
-	}
+	s.inst.subInterestColInto(e, s.assignedSum[t])
 	if len(s.byInterval[t]) == 0 {
 		// Drop the sum entirely so an emptied interval is exactly an
 		// untouched interval (no float dust in later scores).

@@ -38,10 +38,7 @@ func NewScorer(inst *Instance) *Scorer {
 			sum = make([]float64, inst.NumUsers())
 			sc.compSum[c.Interval] = sum
 		}
-		col := inst.interestCol(base + ci)
-		for u, v := range col {
-			sum[u] += float64(v)
-		}
+		inst.addInterestColInto(base+ci, sum)
 	}
 	return sc
 }
@@ -127,12 +124,31 @@ func (sc *Scorer) EventAttendance(s *Schedule, e int) float64 {
 		panic("core: EventAttendance on an unassigned event")
 	}
 	inst := sc.inst
-	mu := inst.interestCol(e)
 	act := sc.scoreActivityCol(t)
 	comp := sc.compSum[t]
 	assigned := s.assignedInterestSum(t) // non-nil: e is assigned to t
 
 	total := 0.0
+	if inst.sparse != nil {
+		// The dense loop below skips µ = 0 users explicitly, so iterating
+		// only the nonzero list accumulates the same terms in the same
+		// (ascending user) order — identical bits.
+		col := inst.sparse[e]
+		for i, uu := range col.Users {
+			u := int(uu)
+			m := float64(col.Mu[i])
+			den := assigned[u]
+			if comp != nil {
+				den += comp[u]
+			}
+			if den == 0 {
+				continue
+			}
+			total += float64(act[u]) * m / den
+		}
+		return total
+	}
+	mu := inst.interestCol(e)
 	for u, mf := range mu {
 		m := float64(mf)
 		if m == 0 {

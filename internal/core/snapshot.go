@@ -32,12 +32,23 @@ func (in *Instance) Snapshot() *Instance {
 }
 
 // ownInterest makes the interest matrix exclusively owned, copying it if it
-// is still shared with a snapshot.
+// is still shared with a snapshot. For sparse instances the copy is a deep
+// copy of every column's nonzero lists — O(nonzeros), the sparse analogue of
+// the dense O(cells) matrix copy.
 func (in *Instance) ownInterest() {
-	if in.sharedInterest {
-		in.interest = append([]float32(nil), in.interest...)
-		in.sharedInterest = false
+	if !in.sharedInterest {
+		return
 	}
+	if in.sparse != nil {
+		cols := make([]SparseCol, len(in.sparse))
+		for h := range in.sparse {
+			cols[h] = in.sparse[h].clone()
+		}
+		in.sparse = cols
+	} else {
+		in.interest = append([]float32(nil), in.interest...)
+	}
+	in.sharedInterest = false
 }
 
 // ownActivity makes the activity matrix exclusively owned.
@@ -61,14 +72,32 @@ func (in *Instance) AddCompeting(c Competing, interest []float32) error {
 		return fmt.Errorf("core: competing interest column has %d values, want %d users", len(interest), in.numUsers)
 	}
 	for u, v := range interest {
-		if v < 0 || v > 1 {
+		// Negated-conjunction form so NaN (for which both v < 0 and v > 1
+		// are false) is rejected too, not silently stored.
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("core: competing interest value %v for user %d out of [0,1]", v, u)
 		}
 	}
-	grown := make([]float32, 0, len(in.interest)+in.numUsers)
-	grown = append(grown, in.interest...)
-	grown = append(grown, interest...)
-	in.interest = grown
+	if in.sparse != nil {
+		var col SparseCol
+		for u, v := range interest {
+			if v != 0 {
+				col.Users = append(col.Users, uint32(u))
+				col.Mu = append(col.Mu, v)
+			}
+		}
+		// ownInterest deep-copies the columns only while they are still
+		// shared with a snapshot; appending to an exclusively owned slice
+		// needs no clone (the dense path's full-matrix copy is what pays
+		// for contiguity, which columns don't have).
+		in.ownInterest()
+		in.sparse = append(in.sparse, col)
+	} else {
+		grown := make([]float32, 0, len(in.interest)+in.numUsers)
+		grown = append(grown, in.interest...)
+		grown = append(grown, interest...)
+		in.interest = grown
+	}
 	in.sharedInterest = false
 	in.Competing = append(append([]Competing(nil), in.Competing...), c)
 	return nil

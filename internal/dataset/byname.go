@@ -29,6 +29,13 @@ type Params struct {
 	// CompetingInterestScale multiplies competing-event interests
 	// (synthetic datasets only; 0 = 1.0).
 	CompetingInterestScale float64
+	// Density thins synthetic interest matrices to this nonzero fraction
+	// (synthetic datasets only; 0 or 1 = fully dense draws). Meetup and
+	// Concerts derive their sparsity from their own structure.
+	Density float64
+	// Rep selects the interest representation for every builder
+	// (auto/dense/sparse; the zero value is core.RepAuto).
+	Rep core.Rep
 }
 
 func (p Params) events() int {
@@ -67,12 +74,23 @@ func ByName(name string, p Params) (*core.Instance, error) {
 	}
 	cmin, cmax := p.competing()
 	switch name {
+	case "Meetup", "meetup", "Concerts", "concerts":
+		// The real-dataset simulators derive their sparsity from their own
+		// structure (category/genre overlap); silently ignoring a Density
+		// request would hand back a workload with a very different memory
+		// footprint than asked for.
+		if p.Density != 0 && p.Density != 1 {
+			return nil, fmt.Errorf("dataset: %s does not take a density (its sparsity comes from its structure); Density applies to the synthetic datasets only", name)
+		}
+	}
+	switch name {
 	case "Meetup", "meetup":
 		cfg := DefaultMeetupConfig(p.K, p.NumUsers, p.Seed)
 		cfg.NumEvents = p.events()
 		cfg.NumIntervals = p.intervals()
 		cfg.NumLocations = p.locations()
 		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
+		cfg.Rep = p.Rep
 		return MeetupSim(cfg)
 	case "Concerts", "concerts":
 		cfg := DefaultConcertsConfig(p.K, p.NumUsers, p.Seed)
@@ -80,6 +98,7 @@ func ByName(name string, p Params) (*core.Instance, error) {
 		cfg.NumIntervals = p.intervals()
 		cfg.NumLocations = p.locations()
 		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
+		cfg.Rep = p.Rep
 		return ConcertsSim(cfg)
 	default:
 		dist, err := ParseDistribution(name)
@@ -92,6 +111,8 @@ func ByName(name string, p Params) (*core.Instance, error) {
 		cfg.NumLocations = p.locations()
 		cfg.CompetingMin, cfg.CompetingMax = cmin, cmax
 		cfg.CompetingInterestScale = p.CompetingInterestScale
+		cfg.Density = p.Density
+		cfg.Rep = p.Rep
 		return Generate(cfg)
 	}
 }

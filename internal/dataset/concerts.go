@@ -47,6 +47,10 @@ type ConcertsConfig struct {
 	ResourceMaxFrac float64
 	CompetingMin    int
 	CompetingMax    int
+	// Rep selects the interest representation (core.Builder). Concerts
+	// interests are dense-ish (unrated genres default to 1), so RepAuto
+	// normally keeps the dense layout.
+	Rep core.Rep
 }
 
 // DefaultConcertsConfig mirrors the Concerts setting at the default
@@ -144,7 +148,7 @@ func ConcertsSim(cfg ConcertsConfig) (*core.Instance, error) {
 			compGenres = append(compGenres, drawGenres(cfg.GenresPerAlbum))
 		}
 	}
-	inst, err := core.NewInstance(events, intervals, competing, cfg.NumUsers, cfg.Theta)
+	b, err := core.NewBuilder(events, intervals, competing, cfg.NumUsers, cfg.Theta, cfg.Rep)
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +156,8 @@ func ConcertsSim(cfg ConcertsConfig) (*core.Instance, error) {
 	// Per-user genre ratings, then the paper's interest derivation.
 	ratings := make([]float64, cfg.NumGenres)
 	rated := make([]bool, cfg.NumGenres)
-	row := make([]float32, inst.NumEvents()+inst.NumCompeting())
-	act := make([]float32, inst.NumIntervals())
+	row := make([]float32, len(events)+len(competing))
+	act := make([]float32, cfg.NumIntervals)
 	albumInterest := func(genres []int) float64 {
 		sum := 0.0
 		for _, g := range genres {
@@ -185,12 +189,13 @@ func ConcertsSim(cfg ConcertsConfig) (*core.Instance, error) {
 		for ci := range competing {
 			row[len(events)+ci] = float32(albumInterest(compGenres[ci]))
 		}
-		inst.SetInterestRow(u, row)
 		// Festival-goer activity: uniform per Table 1's default.
 		for t := range act {
 			act[t] = float32(r.Float64())
 		}
-		inst.SetActivityRow(u, act)
+		if err := b.AddUser(row, act); err != nil {
+			return nil, err
+		}
 	}
-	return inst, nil
+	return b.Build()
 }

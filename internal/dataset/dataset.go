@@ -156,6 +156,17 @@ type Config struct {
 	// interest shrinks, the gain of co-locating events vanishes and HOR's
 	// horizontal policy converges to ALG's greedy.
 	CompetingInterestScale float64
+
+	// Density, when in (0,1), keeps each interest cell with that
+	// probability and zeroes the rest — the million-user sparse workloads
+	// the README's Scaling section benchmarks. 0 (and 1) mean the
+	// classical fully dense draws of Table 1, bit-identical to builds
+	// before the knob existed.
+	Density float64
+	// Rep selects the instance's interest representation; the default
+	// RepAuto measures the generated sparsity and picks dense or sparse
+	// columns accordingly (core.Builder).
+	Rep core.Rep
 }
 
 // DefaultConfig returns the paper's default parameter setting (bold values
@@ -197,6 +208,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dataset: competing range [%d,%d]", c.CompetingMin, c.CompetingMax)
 	case c.CompetingInterestScale < 0:
 		return fmt.Errorf("dataset: CompetingInterestScale = %v", c.CompetingInterestScale)
+	case c.Density < 0 || c.Density > 1:
+		return fmt.Errorf("dataset: Density = %v out of [0,1]", c.Density)
 	}
 	return nil
 }
@@ -234,13 +247,20 @@ func Generate(cfg Config) (*core.Instance, error) {
 			})
 		}
 	}
-	inst, err := core.NewInstance(events, intervals, competing, cfg.NumUsers, cfg.Theta)
+	b, err := core.NewBuilder(events, intervals, competing, cfg.NumUsers, cfg.Theta, cfg.Rep)
 	if err != nil {
 		return nil, err
 	}
+	// keep thins interest cells to the configured density. At the default
+	// (0 or 1) it draws nothing, so classical configs consume the exact
+	// RNG stream they always did.
+	keep := func() bool { return true }
+	if cfg.Density > 0 && cfg.Density < 1 {
+		keep = func() bool { return r.Float64() < cfg.Density }
+	}
 	activity := cfg.Activity.sampler(r)
-	row := make([]float32, inst.NumEvents()+inst.NumCompeting())
-	act := make([]float32, inst.NumIntervals())
+	row := make([]float32, cfg.NumEvents+len(competing))
+	act := make([]float32, cfg.NumIntervals)
 	if cfg.Interest.perEntity() {
 		// Zipfian interest: each event carries a zipf-distributed
 		// popularity level; user interest scatters ±50% around it.
@@ -251,49 +271,45 @@ func Generate(cfg Config) (*core.Instance, error) {
 		}
 		for u := 0; u < cfg.NumUsers; u++ {
 			for i := range row {
-				v := pop[i] * r.Range(0.5, 1.5)
-				if v > 1 {
-					v = 1
+				row[i] = 0
+				if keep() {
+					v := pop[i] * r.Range(0.5, 1.5)
+					if v > 1 {
+						v = 1
+					}
+					row[i] = float32(v)
 				}
-				row[i] = float32(v)
 			}
-			inst.SetInterestRow(u, row)
 			for i := range act {
 				act[i] = float32(activity())
 			}
-			inst.SetActivityRow(u, act)
-		}
-		scaleCompetingInterest(inst, cfg.CompetingInterestScale)
-		return inst, nil
-	}
-	interest := cfg.Interest.sampler(r)
-	for u := 0; u < cfg.NumUsers; u++ {
-		for i := range row {
-			row[i] = float32(interest())
-		}
-		inst.SetInterestRow(u, row)
-		for i := range act {
-			act[i] = float32(activity())
-		}
-		inst.SetActivityRow(u, act)
-	}
-	scaleCompetingInterest(inst, cfg.CompetingInterestScale)
-	return inst, nil
-}
-
-// scaleCompetingInterest multiplies every competing-event interest by scale
-// (1 or 0 = no-op), clamping to [0, 1].
-func scaleCompetingInterest(inst *core.Instance, scale float64) {
-	if scale == 0 || scale == 1 {
-		return
-	}
-	for u := 0; u < inst.NumUsers(); u++ {
-		for c := 0; c < inst.NumCompeting(); c++ {
-			v := inst.CompetingInterest(u, c) * scale
-			if v > 1 {
-				v = 1
+			if err := b.AddUser(row, act); err != nil {
+				return nil, err
 			}
-			inst.SetCompetingInterest(u, c, v)
+		}
+	} else {
+		interest := cfg.Interest.sampler(r)
+		for u := 0; u < cfg.NumUsers; u++ {
+			for i := range row {
+				row[i] = 0
+				if keep() {
+					row[i] = float32(interest())
+				}
+			}
+			for i := range act {
+				act[i] = float32(activity())
+			}
+			if err := b.AddUser(row, act); err != nil {
+				return nil, err
+			}
 		}
 	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if s := cfg.CompetingInterestScale; s != 0 && s != 1 {
+		inst.ScaleCompetingInterest(s)
+	}
+	return inst, nil
 }

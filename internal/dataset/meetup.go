@@ -45,6 +45,10 @@ type MeetupConfig struct {
 	ResourceMaxFrac float64
 	CompetingMin    int
 	CompetingMax    int
+	// Rep selects the interest representation (core.Builder); the default
+	// RepAuto picks sparse when the clustered interests are sparse enough,
+	// which at Meetup's category structure they usually are.
+	Rep core.Rep
 }
 
 // DefaultMeetupConfig mirrors the paper's Meetup setting at the default
@@ -161,15 +165,15 @@ func MeetupSim(cfg MeetupConfig) (*core.Instance, error) {
 			compTags = append(compTags, drawTags(cfg.CategoriesPerEvent))
 		}
 	}
-	inst, err := core.NewInstance(events, intervals, competing, cfg.NumUsers, cfg.Theta)
+	b, err := core.NewBuilder(events, intervals, competing, cfg.NumUsers, cfg.Theta, cfg.Rep)
 	if err != nil {
 		return nil, err
 	}
 
 	// Per-user category preference vectors and activity profiles.
 	prefs := make([]float64, cfg.NumCategories)
-	row := make([]float32, inst.NumEvents()+inst.NumCompeting())
-	act := make([]float32, inst.NumIntervals())
+	row := make([]float32, len(events)+len(competing))
+	act := make([]float32, cfg.NumIntervals)
 	for u := 0; u < cfg.NumUsers; u++ {
 		for i := range prefs {
 			prefs[i] = 0
@@ -189,14 +193,15 @@ func MeetupSim(cfg MeetupConfig) (*core.Instance, error) {
 		for ci := range competing {
 			row[len(events)+ci] = float32(tagAffinity(compTags[ci], prefs, r))
 		}
-		inst.SetInterestRow(u, row)
 		base := r.NormClamped(0.5, 0.2, 0.05, 0.95)
 		for t := range act {
 			act[t] = float32(clamp01(base * slotPop[t] * (0.8 + 0.4*r.Float64())))
 		}
-		inst.SetActivityRow(u, act)
+		if err := b.AddUser(row, act); err != nil {
+			return nil, err
+		}
 	}
-	return inst, nil
+	return b.Build()
 }
 
 // tagAffinity computes a user's interest in an event as the

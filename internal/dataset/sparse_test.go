@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sameContent asserts a and b describe the identical problem cell for cell,
+// regardless of representation.
+func sameContent(t *testing.T, label string, a, b *core.Instance) {
+	t.Helper()
+	if a.NumEvents() != b.NumEvents() || a.NumCompeting() != b.NumCompeting() ||
+		a.NumIntervals() != b.NumIntervals() || a.NumUsers() != b.NumUsers() {
+		t.Fatalf("%s: shapes differ", label)
+	}
+	nI := a.NumEvents() + a.NumCompeting()
+	ra, rb := make([]float32, nI), make([]float32, nI)
+	for u := 0; u < a.NumUsers(); u++ {
+		a.CopyInterestRow(u, ra)
+		b.CopyInterestRow(u, rb)
+		for h := range ra {
+			if ra[h] != rb[h] {
+				t.Fatalf("%s: interest(%d,%d) %v vs %v", label, u, h, ra[h], rb[h])
+			}
+		}
+		for tv := 0; tv < a.NumIntervals(); tv++ {
+			if a.Activity(u, tv) != b.Activity(u, tv) {
+				t.Fatalf("%s: activity(%d,%d) differs", label, u, tv)
+			}
+		}
+	}
+}
+
+// TestGeneratorRepParity: forcing the representation must not change the
+// generated problem — same RNG stream, same values.
+func TestGeneratorRepParity(t *testing.T) {
+	base := DefaultConfig(3, 60, Zipf2, 5)
+	base.Density = 0.1
+	build := func(rep core.Rep) *core.Instance {
+		cfg := base
+		cfg.Rep = rep
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	dense, sparse := build(core.RepDense), build(core.RepSparse)
+	if dense.IsSparse() || !sparse.IsSparse() {
+		t.Fatal("Rep knob not honored")
+	}
+	sameContent(t, "Generate", dense, sparse)
+
+	mcfg := DefaultMeetupConfig(3, 80, 5)
+	mcfg.Rep = core.RepDense
+	md, err := MeetupSim(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg.Rep = core.RepSparse
+	ms, err := MeetupSim(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameContent(t, "Meetup", md, ms)
+
+	ccfg := DefaultConcertsConfig(3, 40, 5)
+	ccfg.Rep = core.RepDense
+	cd, err := ConcertsSim(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Rep = core.RepSparse
+	cs, err := ConcertsSim(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameContent(t, "Concerts", cd, cs)
+}
+
+// TestDensityKnob: the thinned workload hits the requested sparsity and
+// RepAuto picks the sparse layout for it.
+func TestDensityKnob(t *testing.T) {
+	cfg := DefaultConfig(3, 500, Uniform, 9)
+	cfg.Density = 0.05
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsSparse() {
+		t.Error("RepAuto kept a low-density workload dense")
+	}
+	st := Measure(inst)
+	if st.ZeroInterestFrac < 0.9 || st.ZeroInterestFrac > 0.99 {
+		t.Errorf("ZeroInterestFrac = %v, want ≈0.95", st.ZeroInterestFrac)
+	}
+	// Density 0 must be the classical fully dense workload, bit-identical
+	// to one generated before the knob existed.
+	cfg.Density = 0
+	cfg.Rep = core.RepDense
+	full, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Measure(full).ZeroInterestFrac > 0.01 {
+		t.Error("Density=0 thinned the matrix")
+	}
+	cfg.Density = 1.5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("Density out of range accepted")
+	}
+	// The real-dataset simulators derive sparsity from their structure and
+	// must reject the knob loudly instead of silently ignoring it.
+	if _, err := ByName("Meetup", Params{K: 3, NumUsers: 40, Seed: 1, Density: 0.05}); err == nil {
+		t.Error("Meetup accepted a density")
+	}
+	if _, err := ByName("Concerts", Params{K: 3, NumUsers: 40, Seed: 1, Density: 0.05}); err == nil {
+		t.Error("Concerts accepted a density")
+	}
+}
+
+// TestMeasureSparseDenseEqual: Measure must report the identical Stats on
+// equivalent instances regardless of representation.
+func TestMeasureSparseDenseEqual(t *testing.T) {
+	for _, ds := range []string{"Meetup", "Unf"} {
+		p := Params{K: 3, NumUsers: 70, Seed: 11}
+		if ds == "Unf" {
+			p.Density = 0.2 // real-dataset simulators reject the knob
+		}
+		p.Rep = core.RepDense
+		dense, err := ByName(ds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Rep = core.RepSparse
+		sparse, err := ByName(ds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, ss := Measure(dense), Measure(sparse)
+		if sd != ss {
+			t.Errorf("%s: Stats differ across representations:\ndense  %+v\nsparse %+v", ds, sd, ss)
+		}
+	}
+}
+
+// TestPopularitySpread covers the boundary-validation bugfix: interpolated
+// percentiles over nonzero means, finite for tiny |E| and zero-heavy data.
+func TestPopularitySpread(t *testing.T) {
+	cases := []struct {
+		name  string
+		means []float64
+		want  float64
+	}{
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"single event", []float64{0.4}, 1},
+		{"two events", []float64{0.1, 0.4}, (0.1 + 0.9*0.3) / (0.1 + 0.1*0.3)},
+		{"zeros ignored", []float64{0, 0.2, 0.2, 0.2, 0}, 1},
+	}
+	for _, tc := range cases {
+		if got := popularitySpread(tc.means); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: spread = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Small |E| (< 10, where the old index percentiles degenerated) with a
+	// zero p10 must stay finite and JSON-encodable.
+	inst, err := Generate(Config{
+		Seed: 3, NumEvents: 4, NumIntervals: 2, NumUsers: 30, NumLocations: 3,
+		Theta: 10, ResourceMaxFrac: 0.5, CompetingMax: 2, Density: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(inst)
+	if math.IsInf(st.EventPopularitySpread, 0) || math.IsNaN(st.EventPopularitySpread) {
+		t.Fatalf("spread not finite: %v", st.EventPopularitySpread)
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("Stats not JSON-safe: %v", err)
+	}
+	if st.String() == "" {
+		t.Fatal("empty banner")
+	}
+}

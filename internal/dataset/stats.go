@@ -20,10 +20,15 @@ type Stats struct {
 	// ZeroInterestFrac is the fraction of zero µ cells (clustering:
 	// near zero for synthetic, substantial for Meetup-style data).
 	ZeroInterestFrac float64
-	// EventPopularitySpread is the ratio between the 90th and 10th
-	// percentile of per-event mean interest: ≈1 when every event looks
-	// alike (Unf — assignment scores cluster, bounds prune nothing) and
-	// large for heterogeneous popularity (Zip, real data).
+	// EventPopularitySpread is the ratio between the interpolated 90th and
+	// 10th percentiles of the NONZERO per-event mean interests: ≈1 when
+	// every event looks alike (Unf — assignment scores cluster, bounds
+	// prune nothing) and large for heterogeneous popularity (Zip, real
+	// data). Restricting to nonzero means and interpolating keeps the
+	// value finite (JSON-safe) and meaningful for |E| < 10, where raw
+	// index-based percentiles degenerated to min/max and a zero p10
+	// reported +Inf. With no nonzero means at all the spread is 1 (all
+	// events are equally unpopular).
 	EventPopularitySpread float64
 	// CompetingMassMean is the mean per-user per-interval competing
 	// interest sum — the C that drives the stacking gain.
@@ -32,7 +37,11 @@ type Stats struct {
 	ActivityMean float64
 }
 
-// Measure computes Stats with a full scan of the instance.
+// Measure computes Stats with one pass over the instance. On sparse
+// instances the interest passes iterate the nonzero lists — O(nonzeros), the
+// whole point of the representation — and report exactly the Stats a dense
+// build of the same content reports (the dense loops add exact zeros for
+// the cells the sparse loops skip).
 func Measure(inst *core.Instance) Stats {
 	st := Stats{
 		Events:    inst.NumEvents(),
@@ -44,36 +53,50 @@ func Measure(inst *core.Instance) Stats {
 	var sum, sumSq float64
 	zeros := 0
 	eventMean := make([]float64, nE)
-	for e := 0; e < nE; e++ {
-		for u := 0; u < nU; u++ {
-			v := inst.Interest(u, e)
-			sum += v
-			sumSq += v * v
-			if v == 0 {
-				zeros++
+	if cols := inst.SparseInterest(); cols != nil {
+		for e := 0; e < nE; e++ {
+			for _, v32 := range cols[e].Mu {
+				v := float64(v32)
+				sum += v
+				sumSq += v * v
+				eventMean[e] += v
 			}
-			eventMean[e] += v
+			zeros += nU - len(cols[e].Users)
+			eventMean[e] /= float64(nU)
 		}
-		eventMean[e] /= float64(nU)
+	} else {
+		for e := 0; e < nE; e++ {
+			for u := 0; u < nU; u++ {
+				v := inst.Interest(u, e)
+				sum += v
+				sumSq += v * v
+				if v == 0 {
+					zeros++
+				}
+				eventMean[e] += v
+			}
+			eventMean[e] /= float64(nU)
+		}
 	}
 	n := float64(nU * nE)
 	st.InterestMean = sum / n
 	st.InterestStd = math.Sqrt(math.Max(0, sumSq/n-st.InterestMean*st.InterestMean))
 	st.ZeroInterestFrac = float64(zeros) / n
-	sort.Float64s(eventMean)
-	p10 := eventMean[nE/10]
-	p90 := eventMean[nE*9/10]
-	if p10 > 0 {
-		st.EventPopularitySpread = p90 / p10
-	} else {
-		st.EventPopularitySpread = math.Inf(1)
-	}
+	st.EventPopularitySpread = popularitySpread(eventMean)
 	// Competing mass per (user, interval).
 	if inst.NumCompeting() > 0 {
 		var mass float64
-		for c := 0; c < inst.NumCompeting(); c++ {
-			for u := 0; u < nU; u++ {
-				mass += inst.CompetingInterest(u, c)
+		if cols := inst.SparseInterest(); cols != nil {
+			for c := 0; c < inst.NumCompeting(); c++ {
+				for _, v := range cols[nE+c].Mu {
+					mass += float64(v)
+				}
+			}
+		} else {
+			for c := 0; c < inst.NumCompeting(); c++ {
+				for u := 0; u < nU; u++ {
+					mass += inst.CompetingInterest(u, c)
+				}
 			}
 		}
 		st.CompetingMassMean = mass / float64(nU*inst.NumIntervals())
@@ -86,6 +109,36 @@ func Measure(inst *core.Instance) Stats {
 	}
 	st.ActivityMean = act / float64(nU*inst.NumIntervals())
 	return st
+}
+
+// popularitySpread computes the p90/p10 ratio over the nonzero means with
+// interpolated percentiles. 1 when fewer than one nonzero mean exists.
+func popularitySpread(eventMean []float64) float64 {
+	nz := make([]float64, 0, len(eventMean))
+	for _, m := range eventMean {
+		if m > 0 {
+			nz = append(nz, m)
+		}
+	}
+	if len(nz) == 0 {
+		return 1
+	}
+	sort.Float64s(nz)
+	return percentile(nz, 0.9) / percentile(nz, 0.1)
+}
+
+// percentile returns the linearly interpolated p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // String renders the stats for the sesgen banner and logs.

@@ -330,11 +330,12 @@ func Figures() map[string]func(Options) ([]Row, error) {
 		"competing": FigCompeting,
 		"resources": FigResources,
 		"variants":  FigVariants,
+		"sparse":    FigSparse,
 	}
 }
 
 // FigureIDs lists the runnable figures in paper order; the last three are
 // the experiments the paper ran but omitted from the plots (Section 4.1).
 func FigureIDs() []string {
-	return []string{"5", "6", "7", "8", "9", "10a", "10b", "competing", "resources", "variants"}
+	return []string{"5", "6", "7", "8", "9", "10a", "10b", "competing", "resources", "variants", "sparse"}
 }

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// FigSparse benchmarks the sparse interest representation against the dense
+// layout on the ROADMAP's million-user workload: a 500-event, 10-interval
+// synthetic instance at 1% and 5% interest density, |U| scaled from a
+// 1,000,000-user base (the full million at -scale paper). Each density is
+// built twice — forced dense and forced sparse — and produces one BUILD row
+// (wall time of generation, a zero-work measurement otherwise) plus solve
+// rows for HOR-I and TOP. The deterministic columns (Ω, ScoreEvals,
+// Examined) must be identical between the Unf-dense and Unf-sparse series;
+// checking the resulting BENCH file against bench/baseline therefore gates
+// sparse-vs-dense equivalence in CI forever, while the per-series wall times
+// expose the memory-bandwidth win of iterating nonzeros.
+func FigSparse(o Options) ([]Row, error) {
+	const (
+		events    = 500
+		intervals = 10
+		k         = 20 // k > |T| keeps HOR-I distinct from HOR
+	)
+	users := o.Scale.Users(1_000_000)
+	algos := []string{"HOR-I", "TOP"}
+	var rows []Row
+	for _, pct := range []int{1, 5} {
+		for _, rep := range []core.Rep{core.RepDense, core.RepSparse} {
+			ds := "Unf-" + rep.String()
+			if !o.wantDataset(ds) {
+				continue
+			}
+			cfg := dataset.DefaultConfig(k, users, dataset.Uniform, o.Seed)
+			cfg.NumEvents = events
+			cfg.NumIntervals = intervals
+			cfg.Density = float64(pct) / 100
+			cfg.Rep = rep
+			start := time.Now()
+			inst, err := dataset.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			built := time.Since(start)
+			rows = append(rows, Row{
+				Figure: "sparse", Dataset: ds, Algorithm: "BUILD",
+				XName: "density%", X: pct, K: k,
+				Events: inst.NumEvents(), Intervals: inst.NumIntervals(), Users: inst.NumUsers(),
+				Elapsed: built,
+			})
+			o.logf("fig sparse %-11s BUILD density=%d%% |U|=%d rep=%s %.0fms",
+				ds, pct, users, rep, float64(built.Microseconds())/1000)
+			r, err := runInstance("sparse", ds, "density%", pct, k, inst, algos, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}

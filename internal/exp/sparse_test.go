@@ -1,0 +1,60 @@
+package exp
+
+import "testing"
+
+// TestFigSparseRepEquivalence: the dense and sparse series of the sparse
+// figure must report identical deterministic columns — the contract the
+// checked-in BENCH_sparse_tiny.json baseline gates in CI.
+func TestFigSparseRepEquivalence(t *testing.T) {
+	rows, err := FigSparse(Options{Scale: Tiny, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		algo string
+		x    int
+	}
+	dense := make(map[key]Row)
+	sparse := make(map[key]Row)
+	for _, r := range rows {
+		switch r.Dataset {
+		case "Unf-dense":
+			dense[key{r.Algorithm, r.X}] = r
+		case "Unf-sparse":
+			sparse[key{r.Algorithm, r.X}] = r
+		default:
+			t.Fatalf("unexpected dataset label %q", r.Dataset)
+		}
+	}
+	if len(dense) == 0 || len(dense) != len(sparse) {
+		t.Fatalf("unbalanced series: %d dense vs %d sparse rows", len(dense), len(sparse))
+	}
+	for k, d := range dense {
+		s, ok := sparse[k]
+		if !ok {
+			t.Errorf("no sparse row for %+v", k)
+			continue
+		}
+		if d.Utility != s.Utility || d.ScoreEvals != s.ScoreEvals || d.Examined != s.Examined {
+			t.Errorf("%+v: dense (Ω=%v evals=%d exam=%d) vs sparse (Ω=%v evals=%d exam=%d)",
+				k, d.Utility, d.ScoreEvals, d.Examined, s.Utility, s.ScoreEvals, s.Examined)
+		}
+	}
+}
+
+// TestFigSparseDatasetFilter: -datasets Unf-sparse must run only the sparse
+// side (how the million-user demonstration runs without the dense build).
+func TestFigSparseDatasetFilter(t *testing.T) {
+	rows, err := FigSparse(Options{Scale: Tiny, Seed: 1, Datasets: []string{"Unf-sparse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("filter produced no rows")
+	}
+	for _, r := range rows {
+		if r.Dataset != "Unf-sparse" {
+			t.Fatalf("filter leaked dataset %q", r.Dataset)
+		}
+	}
+}

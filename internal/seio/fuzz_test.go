@@ -35,6 +35,33 @@ func seedInstances(t interface {
 		t.Fatal(err)
 	}
 	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+	// A sparse (format version 2) instance document.
+	sb, err := core.NewBuilder(
+		[]core.Event{{Location: 0, Resources: 1}, {Location: 1, Resources: 1}},
+		make([]core.Interval, 2),
+		[]core.Competing{{Interval: 0}},
+		6, 3, core.RepSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		row := []float32{0, 0, 0}
+		if u%2 == 0 {
+			row[u%3] = 0.5
+		}
+		if err := sb.AddUser(row, []float32{0.25, 0.75}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sparse, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteInstance(&buf, sparse); err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
 	return seeds
 }
 
@@ -51,6 +78,15 @@ func FuzzReadInstance(f *testing.F) {
 	f.Add([]byte(`{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"interest":[[0],[0,0,0]],"activity":[[0],[0]]}`))
 	f.Add([]byte(`{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"competing":[{"interval":9}],"num_users":1,"interest":[[0,0]],"activity":[[0]]}`))
 	f.Add([]byte(`{"version":1,"theta":-1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[2]],"activity":[[0]]}`))
+	// Sparse (version 2) probes: nonzero-count lies, duplicate/descending
+	// users, out-of-range user indices, explicit zeros, version/representation
+	// mismatches. All must die on the cheap shape checks.
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1000000000,"activity":[[0]],"interest_sparse":[{"users":[0],"mu":[0.5]}]}`))
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"activity":[[0],[0]],"interest_sparse":[{"users":[1,0],"mu":[0.5,0.5]}]}`))
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"activity":[[0],[0]],"interest_sparse":[{"users":[0],"mu":[0.5,0.5]}]}`))
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"activity":[[0],[0]],"interest_sparse":[{"users":[5],"mu":[0.5]}]}`))
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"activity":[[0],[0]],"interest_sparse":[{"users":[0],"mu":[0]}]}`))
+	f.Add([]byte(`{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0.5]],"activity":[[0]]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		inst, err := ReadInstance(bytes.NewReader(data))
 		if err != nil {

@@ -67,6 +67,137 @@ func TestInstanceRoundTrip(t *testing.T) {
 	}
 }
 
+// sparseTestInstance builds a small sparse instance through the core builder.
+func sparseTestInstance(t testing.TB, nE, nT, nC, nU int) *core.Instance {
+	t.Helper()
+	events := make([]core.Event, nE)
+	for i := range events {
+		events[i] = core.Event{Name: "e", Location: i % 3, Resources: 1}
+	}
+	competing := make([]core.Competing, nC)
+	for i := range competing {
+		competing[i] = core.Competing{Interval: i % nT}
+	}
+	b, err := core.NewBuilder(events, make([]core.Interval, nT), competing, nU, 4, core.RepSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float32, nE+nC)
+	act := make([]float32, nT)
+	for u := 0; u < nU; u++ {
+		for i := range row {
+			row[i] = 0
+			if (u+i)%20 == 0 { // 5% density
+				row[i] = float32(i+1) / float32(nE+nC+1)
+			}
+		}
+		for i := range act {
+			act[i] = 0.5
+		}
+		if err := b.AddUser(row, act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestSparseInstanceRoundTrip: a sparse instance survives the version-2
+// encoding with its representation, content and digest intact.
+func TestSparseInstanceRoundTrip(t *testing.T) {
+	orig := sparseTestInstance(t, 6, 3, 4, 40)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, `"version":2`) || !strings.Contains(doc, `"interest_sparse"`) {
+		t.Fatalf("sparse document not in version-2 sparse form:\n%.200s", doc)
+	}
+	if strings.Contains(doc, `"interest":`) {
+		t.Fatal("sparse document carries dense interest rows")
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() {
+		t.Fatal("round trip lost the sparse representation")
+	}
+	if got.Digest() != orig.Digest() {
+		t.Fatal("round trip changed the digest")
+	}
+}
+
+// TestSparseDocumentSmaller: the point of the encoding — serialized size
+// proportional to nonzeros, not the dense cross product.
+func TestSparseDocumentSmaller(t *testing.T) {
+	sparse := sparseTestInstance(t, 40, 2, 10, 500)
+	var sparseBuf bytes.Buffer
+	if err := WriteInstance(&sparseBuf, sparse); err != nil {
+		t.Fatal(err)
+	}
+	// The same content forced dense.
+	dense, err := core.NewInstance(sparse.Events, sparse.Intervals, sparse.Competing, sparse.NumUsers(), sparse.Theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float32, sparse.NumEvents()+sparse.NumCompeting())
+	act := make([]float32, sparse.NumIntervals())
+	for u := 0; u < sparse.NumUsers(); u++ {
+		sparse.CopyInterestRow(u, row)
+		sparse.CopyActivityRow(u, act)
+		dense.SetInterestRow(u, row)
+		dense.SetActivityRow(u, act)
+	}
+	var denseBuf bytes.Buffer
+	if err := WriteInstance(&denseBuf, dense); err != nil {
+		t.Fatal(err)
+	}
+	if sparseBuf.Len() >= denseBuf.Len()/2 {
+		t.Fatalf("sparse doc %dB not substantially smaller than dense %dB", sparseBuf.Len(), denseBuf.Len())
+	}
+}
+
+func TestReadInstanceRejectsBadSparse(t *testing.T) {
+	head := `{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":3,"activity":[[0],[0],[0]],`
+	cases := map[string]string{
+		"column count":   head + `"interest_sparse":[]}`,
+		"len mismatch":   head + `"interest_sparse":[{"users":[0],"mu":[]}]}`,
+		"descending":     head + `"interest_sparse":[{"users":[2,1],"mu":[0.5,0.5]}]}`,
+		"duplicate user": head + `"interest_sparse":[{"users":[1,1],"mu":[0.5,0.5]}]}`,
+		"user range":     head + `"interest_sparse":[{"users":[3],"mu":[0.5]}]}`,
+		"explicit zero":  head + `"interest_sparse":[{"users":[1],"mu":[0]}]}`,
+		"value range":    head + `"interest_sparse":[{"users":[1],"mu":[1.5]}]}`,
+		// A huge declared user count with a tiny body must die on the cheap
+		// activity-row count check, never on an allocation.
+		"dimension lie": `{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1000000000,"activity":[[0]],"interest_sparse":[{"users":[0],"mu":[0.5]}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadInstance(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadInstanceNamesOffendingCell: the trust-boundary validation names the
+// exact cell, so PUT 400s are actionable.
+func TestReadInstanceNamesOffendingCell(t *testing.T) {
+	payload := `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":2,"interest":[[0.5],[3]],"activity":[[0],[0]]}`
+	_, err := ReadInstance(strings.NewReader(payload))
+	if err == nil || !strings.Contains(err.Error(), "user 1, column 0") {
+		t.Errorf("bad interest cell not named: %v", err)
+	}
+	payload = `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{},{}],"num_users":1,"interest":[[0.5]],"activity":[[0,-1]]}`
+	_, err = ReadInstance(strings.NewReader(payload))
+	if err == nil || !strings.Contains(err.Error(), "user 0, interval 1") {
+		t.Errorf("bad activity cell not named: %v", err)
+	}
+}
+
 func TestReadInstanceRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":    "{nope",

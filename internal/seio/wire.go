@@ -25,6 +25,12 @@ type InstanceInfo struct {
 	Competing int     `json:"competing"`
 	Users     int     `json:"users"`
 	Theta     float64 `json:"theta"`
+	// Rep and InterestNNZ describe the interest representation of the
+	// stored instance: "sparse" with its nonzero count, or empty for the
+	// classical dense layout (omitted on the wire, so dense responses are
+	// unchanged).
+	Rep         string `json:"rep,omitempty"`
+	InterestNNZ int64  `json:"interest_nnz,omitempty"`
 }
 
 // SolveRequest is the body of POST /instances/{name}/solve.

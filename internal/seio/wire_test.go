@@ -12,11 +12,22 @@ import (
 func TestVersionGating(t *testing.T) {
 	inst := core.RunningExample()
 	// A file written by a future format must fail with an actionable
-	// "newer than supported" error, not a generic mismatch.
-	future := `{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`
+	// "newer than supported" error, not a generic mismatch. (Version 2 is
+	// the sparse encoding, supported since this build; the next unknown
+	// version is 3.)
+	future := `{"version":3,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`
 	_, err := ReadInstance(strings.NewReader(future))
 	if err == nil || !strings.Contains(err.Error(), "newer than this build") {
 		t.Errorf("future instance version: got %v, want 'newer than this build' error", err)
+	}
+	// The representation must match the declared version in both directions.
+	mixed := `{"version":2,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest":[[0]],"activity":[[0]]}`
+	if _, err := ReadInstance(strings.NewReader(mixed)); err == nil || !strings.Contains(err.Error(), "dense interest rows") {
+		t.Errorf("v2 document with dense rows: got %v", err)
+	}
+	mixed = `{"version":1,"theta":1,"events":[{"location":0,"resources":1}],"intervals":[{}],"num_users":1,"interest_sparse":[{"users":[0],"mu":[0.5]}],"activity":[[0]]}`
+	if _, err := ReadInstance(strings.NewReader(mixed)); err == nil || !strings.Contains(err.Error(), "sparse interest columns") {
+		t.Errorf("v1 document with sparse columns: got %v", err)
 	}
 	_, err = ReadSchedule(strings.NewReader(`{"version":2,"assignments":[]}`), inst)
 	if err == nil || !strings.Contains(err.Error(), "newer than this build") {

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/seio"
+)
+
+// sparseUpload renders a sparse and an equivalent dense upload body for the
+// same 5%-density synthetic instance.
+func sparseUpload(t *testing.T, users int, seed uint64) (sparse, dense []byte) {
+	t.Helper()
+	render := func(rep core.Rep) []byte {
+		cfg := dataset.DefaultConfig(3, users, dataset.Uniform, seed)
+		cfg.Density = 0.05
+		cfg.Rep = rep
+		inst, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := seio.WriteInstance(&buf, inst); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	return render(core.RepSparse), render(core.RepDense)
+}
+
+// TestSparseInstanceHTTP round-trips a sparse instance through the full HTTP
+// surface: upload, metadata, solve (bit-identical to the dense twin), mutate,
+// re-download.
+func TestSparseInstanceHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 8})
+	c := ts.Client()
+	sparseDoc, denseDoc := sparseUpload(t, 120, 3)
+
+	var si, di seio.InstanceInfo
+	do(t, c, "PUT", ts.URL+"/instances/sp", sparseDoc, http.StatusCreated, &si)
+	do(t, c, "PUT", ts.URL+"/instances/dn", denseDoc, http.StatusCreated, &di)
+	if si.Rep != "sparse" || si.InterestNNZ == 0 {
+		t.Fatalf("sparse upload info lacks representation metadata: %+v", si)
+	}
+	if di.Rep != "" || di.InterestNNZ != 0 {
+		t.Fatalf("dense upload info unexpectedly sparse: %+v", di)
+	}
+	// Digests are representation-scoped (the sparse digest hashes nonzero
+	// lists in O(nonzeros)); both must exist, and equivalence is proven by
+	// the bit-identical solves below, not by digest equality.
+	if si.Digest == "" || di.Digest == "" || si.Digest == di.Digest {
+		t.Fatalf("unexpected digests: sparse %q dense %q", si.Digest, di.Digest)
+	}
+
+	// Solves must be bit-identical across representations, counters included.
+	for _, algo := range []string{"ALG", "HOR-I", "TOP"} {
+		body := jsonBody(t, seio.SolveRequest{Algorithm: algo, K: 3})
+		var sr, dr seio.SolveResponse
+		do(t, c, "POST", ts.URL+"/instances/sp/solve", body, http.StatusOK, &sr)
+		do(t, c, "POST", ts.URL+"/instances/dn/solve", body, http.StatusOK, &dr)
+		if sr.Schedule.Utility != dr.Schedule.Utility {
+			t.Fatalf("%s: utility %v (sparse) vs %v (dense)", algo, sr.Schedule.Utility, dr.Schedule.Utility)
+		}
+		if sr.ScoreEvals != dr.ScoreEvals || sr.Examined != dr.Examined {
+			t.Fatalf("%s: counters differ: %d/%d vs %d/%d", algo, sr.ScoreEvals, sr.Examined, dr.ScoreEvals, dr.Examined)
+		}
+		if len(sr.Schedule.Assignments) != len(dr.Schedule.Assignments) {
+			t.Fatalf("%s: schedule lengths differ", algo)
+		}
+		for i := range sr.Schedule.Assignments {
+			if sr.Schedule.Assignments[i] != dr.Schedule.Assignments[i] {
+				t.Fatalf("%s: assignment %d differs", algo, i)
+			}
+		}
+	}
+
+	// Mutating a sparse instance publishes a new version and keeps it sparse.
+	mut := jsonBody(t, seio.MutateRequest{Interest: []seio.CellUpdate{{User: 5, Index: 1, Value: 0.5}}})
+	var after seio.InstanceInfo
+	do(t, c, "PATCH", ts.URL+"/instances/sp", mut, http.StatusOK, &after)
+	if after.Version != 2 || after.Rep != "sparse" {
+		t.Fatalf("bad post-mutation info: %+v", after)
+	}
+
+	// GET returns the version-2 sparse document.
+	resp, err := c.Get(ts.URL + "/instances/sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := seio.ReadInstance(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() {
+		t.Fatal("downloaded instance lost the sparse representation")
+	}
+	if got.Interest(5, 1) != 0.5 {
+		t.Fatalf("downloaded instance missing the mutation: %v", got.Interest(5, 1))
+	}
+}
+
+// TestMutateRejectsNonFinite is the regression test for the trust-boundary
+// bugfix: NaN and overflow-to-Inf values must be rejected with a 400 naming
+// the offending cell, at both the HTTP and the store layer.
+func TestMutateRejectsNonFinite(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Queue: 2})
+	c := ts.Client()
+	do(t, c, "PUT", ts.URL+"/instances/x", testInstanceJSON(t, 3, 20, 5), http.StatusCreated, nil)
+
+	// 1e308 is finite in the JSON but would overflow the float32 store to
+	// +Inf; it must bounce with the exact cell in the message.
+	body := []byte(`{"interest":[{"user":2,"index":1,"value":1e308}]}`)
+	req, err := http.NewRequest("PATCH", ts.URL+"/instances/x", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var eresp seio.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eresp.Error, "user 2, index 1") {
+		t.Fatalf("400 does not name the offending cell: %q", eresp.Error)
+	}
+
+	// NaN cannot arrive via JSON, but the store API is also driven by WAL
+	// replay and in-process callers: applyMutation must reject it directly.
+	inst, err := dataset.Generate(dataset.DefaultConfig(3, 10, dataset.Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []seio.MutateRequest{
+		{Interest: []seio.CellUpdate{{User: 0, Index: 0, Value: math.NaN()}}},
+		{Activity: []seio.CellUpdate{{User: 0, Index: 0, Value: math.Inf(1)}}},
+		{CompetingInterest: []seio.CellUpdate{{User: 0, Index: 0, Value: math.Inf(-1)}}},
+		{AddCompeting: []seio.NewCompeting{{Interval: 0, Interest: nanColumn(10)}}},
+	} {
+		if err := applyMutation(inst, req); err == nil {
+			t.Fatalf("applyMutation accepted a non-finite value: %+v", req)
+		}
+	}
+}
+
+func nanColumn(n int) []float32 {
+	col := make([]float32, n)
+	col[0] = float32(math.NaN())
+	return col
+}
+
+// TestSparsePersistence: a sparse instance survives the WAL → crash →
+// replay cycle with its representation and digest intact (the seio sparse
+// document rides the WAL put records unchanged).
+func TestSparsePersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Workers: 1, Queue: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseDoc, _ := sparseUpload(t, 60, 9)
+	inst, err := seio.ReadInstance(bytes.NewReader(sparseDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := s.store.Put("m", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mutation on top, so replay exercises the re-apply + digest-verify
+	// path on a sparse instance.
+	info2, err := s.store.Mutate("m", seio.MutateRequest{
+		Interest: []seio.CellUpdate{{User: 1, Index: 0, Value: 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := New(Config{Workers: 1, Queue: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, gotInfo, err := re.store.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() {
+		t.Fatal("recovered instance lost the sparse representation")
+	}
+	if gotInfo.Digest != info2.Digest || gotInfo.Version != info2.Version {
+		t.Fatalf("recovered info %+v, want %+v", gotInfo, info2)
+	}
+	if gotInfo.Digest == info.Digest {
+		t.Fatal("mutation lost in recovery")
+	}
+	if got.Interest(1, 0) != 0.25 {
+		t.Fatalf("recovered instance missing the mutation: %v", got.Interest(1, 0))
+	}
+}

@@ -133,7 +133,7 @@ func (st *Store) unlockName(name string, l *nameLock) {
 }
 
 func makeInfo(name string, ver uint64, digest string, inst *core.Instance) seio.InstanceInfo {
-	return seio.InstanceInfo{
+	info := seio.InstanceInfo{
 		Name:      name,
 		Version:   ver,
 		Digest:    digest,
@@ -143,6 +143,11 @@ func makeInfo(name string, ver uint64, digest string, inst *core.Instance) seio.
 		Users:     inst.NumUsers(),
 		Theta:     inst.Theta,
 	}
+	if inst.IsSparse() {
+		info.Rep = "sparse"
+		info.InterestNNZ = inst.InterestNonzeros()
+	}
+	return info
 }
 
 // publish swaps in v as the current version of name.
@@ -288,8 +293,13 @@ func applyMutation(in *core.Instance, req seio.MutateRequest) error {
 		if u.Index < 0 || u.Index >= max {
 			return fmt.Errorf("%s update: index %d out of range (have %d)", kind, u.Index, max)
 		}
-		if u.Value < 0 || u.Value > 1 {
-			return fmt.Errorf("%s update: value %v out of [0,1]", kind, u.Value)
+		// The negated-conjunction form rejects NaN too (both halves are
+		// false for it): PATCH is a trust boundary, and a single NaN/Inf
+		// cell — or a finite float64 like 1e308 that overflows to +Inf on
+		// the float32 store — would poison every downstream utility and
+		// make solve responses unencodable. The 400 names the exact cell.
+		if !(u.Value >= 0 && u.Value <= 1) {
+			return fmt.Errorf("%s update for (user %d, index %d): value %v out of [0,1]", kind, u.User, u.Index, u.Value)
 		}
 		return nil
 	}

@@ -9,6 +9,14 @@
 // probability proportional to interest (Luce's choice axiom). Attendance of
 // candidate events is tallied. By construction the per-trial expectation of
 // event e's attendance is exactly ω_e^t (Eq. 2).
+//
+// The draw order is user-major (user → trial → slot, zero-appeal slots
+// skipped), chosen so each user's interest weights are gathered once across
+// all trials — on sparse instances a µ lookup is a binary search, and
+// hoisting it keeps cost proportional to the draws. Consequently a given
+// (instance, schedule, trials, seed) yields a different — equally valid —
+// sample than pre-sparse builds did; only the distribution is contractual,
+// and all consumers compare against the analytic Ω with a tolerance.
 package sim
 
 import (
@@ -61,33 +69,43 @@ func Simulate(inst *core.Instance, s *core.Schedule, trials int, seed uint64) (*
 	}
 
 	res := &Result{Trials: trials, PerEvent: make(map[int]float64)}
-	weights := make([]float64, 0, 16)
-	for trial := 0; trial < trials; trial++ {
-		for u := 0; u < inst.NumUsers(); u++ {
+	// Users are the outer loop so each user's option weights are gathered
+	// ONCE across all trials: on sparse instances an interest lookup is a
+	// binary search of a nonzero column, and hoisting it keeps simulation
+	// cost proportional to the random draws, not draws × log(nonzeros).
+	// Slots whose total appeal is zero are skipped before the activity
+	// draw — the slot's outcome is "stays home" regardless, and on sparse
+	// instances most (user, slot) pairs are such.
+	uw := make([][]float64, nT)
+	totals := make([]float64, nT)
+	for t := range uw {
+		uw[t] = make([]float64, len(options[t]))
+	}
+	for u := 0; u < inst.NumUsers(); u++ {
+		for t := 0; t < nT; t++ {
+			totals[t] = 0
+			for i, o := range options[t] {
+				var w float64
+				if o.competing {
+					w = inst.CompetingInterest(u, o.event)
+				} else {
+					w = inst.Interest(u, o.event)
+				}
+				totals[t] += w
+				uw[t][i] = w
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
 			for t := 0; t < nT; t++ {
 				opts := options[t]
-				if len(opts) == 0 {
-					continue
+				if len(opts) == 0 || totals[t] == 0 {
+					continue // nothing scheduled, or nothing appeals
 				}
 				if r.Float64() >= inst.Activity(u, t) {
 					continue // user not socially active in this slot
 				}
-				weights = weights[:0]
-				total := 0.0
-				for _, o := range opts {
-					var w float64
-					if o.competing {
-						w = inst.CompetingInterest(u, o.event)
-					} else {
-						w = inst.Interest(u, o.event)
-					}
-					total += w
-					weights = append(weights, w)
-				}
-				if total == 0 {
-					continue // nothing appeals; user stays home
-				}
-				pick := r.Float64() * total
+				weights := uw[t]
+				pick := r.Float64() * totals[t]
 				acc := 0.0
 				for i, w := range weights {
 					acc += w
