@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -18,26 +20,46 @@ import (
 	"repro/internal/server"
 )
 
+// newLogger builds the daemon's slog.Logger on stdout in the requested
+// format. Unknown formats are a flag error (exit 2), not a silent fallback.
+func newLogger(format string, stdout io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(stdout, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(stdout, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 // Sesd runs the SES solver service until SIGINT/SIGTERM, then drains
 // in-flight work and exits cleanly.
 func Sesd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sesd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		workers  = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue    = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
-		cache    = fs.Int("cache", 256, "result cache capacity (entries)")
-		jobTTL   = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
-		jobCells = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
-		parallel = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
-		maxBody  = fs.Int64("max-body-mb", 256, "request body limit in MiB (a 1M-user sparse upload at 5% density is ~600 MiB)")
-		dataDir  = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
-		fsync    = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
-		segBytes = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
-		compact  = fs.Int("compact-every", 4096, "WAL records between snapshot compactions (bounds replay cost)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
+		cache     = fs.Int("cache", 256, "result cache capacity (entries)")
+		jobTTL    = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
+		jobCells  = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
+		parallel  = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
+		maxBody   = fs.Int64("max-body-mb", 256, "request body limit in MiB (a 1M-user sparse upload at 5% density is ~600 MiB)")
+		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
+		fsync     = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
+		segBytes  = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
+		compact   = fs.Int("compact-every", 4096, "WAL records between snapshot compactions (bounds replay cost)")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := newLogger(*logFormat, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "sesd: %v\n", err)
 		return 2
 	}
 	// A durable store logs every accepted upload as one WAL record, whose
@@ -51,13 +73,35 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	// with the WAL-append 500, same as before.)
 	if *dataDir != "" {
 		if limit := int64(seio.MaxWALRecordBytes>>20) - 1; *maxBody > limit {
-			fmt.Fprintf(stderr, "sesd: -max-body-mb %d exceeds the durable WAL record cap; clamping to %d\n", *maxBody, limit)
+			logger.Warn("clamping -max-body-mb to the durable WAL record cap",
+				"requested_mb", *maxBody, "clamped_mb", limit)
 			*maxBody = limit
 		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail(stderr, "sesd", err)
+	}
+	// The pprof endpoints expose heap contents and CPU samples, so they get
+	// their own listener (typically bound to localhost) instead of riding the
+	// service port, and an explicit mux so nothing else leaks through
+	// http.DefaultServeMux.
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fail(stderr, "sesd", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer = &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = pprofServer.Serve(pln) }()
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		defer pprofServer.Close()
 	}
 	// The listener opens before recovery and serves 503 "recovering" on
 	// every route until the WAL replay completes, so orchestrators polling
@@ -86,7 +130,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(stdout, "sesd listening on %s\n", ln.Addr())
+	logger.Info("sesd listening", "addr", ln.Addr().String())
 
 	// Recovery (server.New replays the WAL) can take a while on a large
 	// data dir; run it aside the signal context so SIGINT/SIGTERM still
@@ -104,6 +148,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 			JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
 			MaxBodyBytes: *maxBody << 20,
 			DataDir:      *dataDir, Fsync: *fsync, SegmentBytes: *segBytes, CompactEvery: *compact,
+			Logger: logger,
 		})
 		newc <- newResult{s, err}
 	}()
@@ -116,7 +161,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		}
 		srv = r.srv
 	case <-ctx.Done():
-		fmt.Fprintln(stdout, "sesd interrupted during recovery")
+		logger.Info("sesd interrupted during recovery")
 		hs.Close()
 		// Release the recovery's resources whenever it finishes; the
 		// process usually exits first, which works just as well.
@@ -132,11 +177,16 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	if *dataDir != "" {
 		p := srv.Snapshot().Persist
 		if p.Recovery != nil {
-			fmt.Fprintf(stdout, "sesd recovered %s: snapshot seq %d (%d records) + %d wal records across %d segment(s) in %.1fms\n",
-				*dataDir, p.Recovery.SnapshotSeq, p.Recovery.SnapshotRecords,
-				p.Recovery.Records, p.Recovery.Segments, p.RecoveryMS)
+			logger.Info("sesd recovered",
+				"data_dir", *dataDir,
+				"snapshot_seq", p.Recovery.SnapshotSeq,
+				"snapshot_records", p.Recovery.SnapshotRecords,
+				"wal_records", p.Recovery.Records,
+				"wal_segments", p.Recovery.Segments,
+				"elapsed_ms", p.RecoveryMS)
 			if p.Recovery.TornBytes > 0 {
-				fmt.Fprintf(stdout, "sesd discarded a torn wal tail of %d bytes (crash mid-append)\n", p.Recovery.TornBytes)
+				logger.Warn("discarded a torn wal tail (crash mid-append)",
+					"torn_bytes", p.Recovery.TornBytes)
 			}
 		}
 	}
@@ -146,7 +196,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, "sesd", err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(stdout, "sesd shutting down")
+	logger.Info("sesd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

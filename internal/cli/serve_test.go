@@ -70,4 +70,13 @@ func TestSesdFlagAndListenErrors(t *testing.T) {
 	if code := Sesd([]string{"-addr", "127.0.0.1:0", "-data-dir", badDir}, &out, &errb); code != 1 {
 		t.Errorf("bad data dir: exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
+
+	// An unknown -log-format is a usage error, caught before anything binds.
+	errb.Reset()
+	if code := Sesd([]string{"-addr", "127.0.0.1:0", "-log-format", "xml"}, &out, &errb); code != 2 {
+		t.Errorf("bad log format: exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "log-format") {
+		t.Errorf("log-format error not reported: %s", errb.String())
+	}
 }

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a text-exposition document against the format invariants the
+// registry promises: every sample belongs to a family announced by HELP/TYPE
+// lines that precede it, sample values parse, no sample line repeats, and
+// histograms satisfy bucket monotonicity with a closing +Inf bucket whose
+// cumulative count equals the family's _count sample. It exists for the tests
+// (unit, server scrape, and the CI metrics smoke) so "serves valid exposition"
+// is a checked property, not an eyeballed one.
+func Lint(doc []byte) error {
+	kinds := map[string]string{} // family -> counter|gauge|histogram
+	help := map[string]bool{}    // family has a HELP line
+	seen := map[string]bool{}    // duplicate sample-line guard (name + labels)
+	type histSeries struct {     // one histogram family + label set
+		bounds []float64
+		counts []uint64
+		count  *float64 // the _count sample, if seen
+		sum    bool
+	}
+	hists := map[string]*histSeries{}
+
+	sc := bufio.NewScanner(bytes.NewReader(doc))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 2 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[0] {
+			case "HELP":
+				help[fields[1]] = true
+			case "TYPE":
+				if len(fields) != 3 {
+					return fmt.Errorf("line %d: TYPE without a kind", lineNo)
+				}
+				name, kind := fields[1], fields[2]
+				if kind != "counter" && kind != "gauge" && kind != "histogram" {
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, kind, name)
+				}
+				if _, dup := kinds[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				kinds[name] = kind
+			default:
+				return fmt.Errorf("line %d: unknown comment %q", lineNo, fields[0])
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if seen[name+labels] {
+			return fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, labels)
+		}
+		seen[name+labels] = true
+
+		fam, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && kinds[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		kind, ok := kinds[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		if !help[fam] {
+			return fmt.Errorf("line %d: sample %s has no HELP", lineNo, name)
+		}
+		if kind == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s of histogram family", lineNo, name)
+		}
+		if kind != "histogram" {
+			continue
+		}
+
+		le, rest, err := splitLe(labels)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := fam + rest
+		h := hists[key]
+		if h == nil {
+			h = &histSeries{}
+			hists[key] = h
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			bound := math.Inf(+1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le %q: %w", lineNo, le, err)
+				}
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, uint64(value))
+		case "_sum":
+			h.sum = true
+		case "_count":
+			v := value
+			h.count = &v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if len(h.bounds) == 0 {
+			return fmt.Errorf("histogram series %s has no buckets", k)
+		}
+		for i := 1; i < len(h.bounds); i++ {
+			if h.bounds[i] <= h.bounds[i-1] {
+				return fmt.Errorf("histogram series %s: bucket bounds not increasing at %v", k, h.bounds[i])
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("histogram series %s: cumulative count decreases at le=%v", k, h.bounds[i])
+			}
+		}
+		if !math.IsInf(h.bounds[len(h.bounds)-1], +1) {
+			return fmt.Errorf("histogram series %s: final bucket is not +Inf", k)
+		}
+		if !h.sum {
+			return fmt.Errorf("histogram series %s: missing _sum", k)
+		}
+		if h.count == nil {
+			return fmt.Errorf("histogram series %s: missing _count", k)
+		}
+		if *h.count != float64(h.counts[len(h.counts)-1]) {
+			return fmt.Errorf("histogram series %s: _count %v != +Inf bucket %d", k, *h.count, h.counts[len(h.counts)-1])
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, canonical label block and
+// value. Escapes inside label values are tolerated (the scanner walks quoted
+// strings byte-wise honoring backslashes).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip the escaped byte
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Exposition values may carry a timestamp after the value; the registry
+	// never emits one, so reject it as unexpected.
+	if strings.ContainsRune(rest, ' ') {
+		return "", "", 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// splitLe extracts the le label from a label block, returning its value and
+// the block with le removed (the histogram series key).
+func splitLe(labels string) (le, rest string, err error) {
+	if labels == "" {
+		return "", "", nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitPairs(body) {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return "", "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		k := pair[:eq]
+		v := strings.TrimSuffix(strings.TrimPrefix(pair[eq+1:], `"`), `"`)
+		if k == "le" {
+			le = v
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// splitPairs splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitPairs(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

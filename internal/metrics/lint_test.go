@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintRejects feeds Lint hand-broken documents, one per invariant, so the
+// validator itself is tested — a lint that accepts everything would make the
+// scrape tests vacuous.
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{
+			"sample without TYPE",
+			"x_total 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"sample without HELP",
+			"# TYPE x_total counter\nx_total 1\n",
+			"no HELP",
+		},
+		{
+			"unknown TYPE kind",
+			"# HELP x x\n# TYPE x summary\nx 1\n",
+			"unknown TYPE",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP x x\n# TYPE x counter\n# TYPE x counter\nx 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"duplicate sample",
+			"# HELP x x\n# TYPE x counter\nx 1\nx 2\n",
+			"duplicate sample",
+		},
+		{
+			"bad value",
+			"# HELP x x\n# TYPE x counter\nx one\n",
+			"bad sample value",
+		},
+		{
+			"trailing timestamp",
+			"# HELP x x\n# TYPE x counter\nx 1 1700000000\n",
+			"trailing fields",
+		},
+		{
+			"bucket count decreases",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_sum 1\nh_count 5\n",
+			"cumulative count decreases",
+		},
+		{
+			"bounds not increasing",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="2"} 1` + "\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				`h_bucket{le="+Inf"} 1` + "\n" +
+				"h_sum 1\nh_count 1\n",
+			"not increasing",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				"h_sum 1\nh_count 1\n",
+			"final bucket is not +Inf",
+		},
+		{
+			"missing _sum",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1` + "\n" +
+				"h_count 1\n",
+			"missing _sum",
+		},
+		{
+			"missing _count",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1` + "\n" +
+				"h_sum 1\n",
+			"missing _count",
+		},
+		{
+			"_count disagrees with +Inf",
+			"# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" +
+				"h_sum 1\nh_count 3\n",
+			"!= +Inf bucket",
+		},
+		{
+			"bare histogram sample",
+			"# HELP h h\n# TYPE h histogram\nh 1\n",
+			"bare sample",
+		},
+		{
+			"bucket without le",
+			"# HELP h h\n# TYPE h histogram\nh_bucket 1\n",
+			"without le",
+		},
+		{
+			"unterminated label block",
+			"# HELP x x\n# TYPE x counter\nx{a=\"b\" 1\n",
+			"unterminated label block",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Lint accepted broken document:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Lint error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLintAcceptsValid(t *testing.T) {
+	doc := "# HELP x_total ops\n# TYPE x_total counter\nx_total 3\n" +
+		"# HELP g depth\n# TYPE g gauge\ng -1.5\n" +
+		"# HELP h lat\n# TYPE h histogram\n" +
+		`h_bucket{route="a",le="0.1"} 1` + "\n" +
+		`h_bucket{route="a",le="+Inf"} 2` + "\n" +
+		`h_sum{route="a"} 3.5` + "\n" +
+		`h_count{route="a"} 2` + "\n"
+	if err := Lint([]byte(doc)); err != nil {
+		t.Fatalf("Lint rejected valid document: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package span is a lightweight per-request stage-timing API: a Trace
+// accumulates named stage durations for one request, and rides the request's
+// context so lower layers (the scoring engine) can attribute their time to
+// the request that caused it even when the component doing the work — a
+// shared engine, a pooled worker — is itself shared across requests.
+//
+// Everything is nil-safe: a nil *Trace (timings not requested) turns every
+// call into a no-op, so instrumented code paths never branch on "is tracing
+// on". The cost of a disabled trace is one pointer check.
+package span
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Stage is one named stage with its accumulated duration.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace accumulates stage durations for one request. Safe for concurrent use:
+// parallel scoring goroutines may add to the same stage.
+type Trace struct {
+	mu    sync.Mutex
+	order []string
+	dur   map[string]time.Duration
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{dur: map[string]time.Duration{}} }
+
+// Add accumulates d into the named stage. Nil-safe.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.dur[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.dur[name] += d
+}
+
+// Get returns the accumulated duration of the named stage (0 if absent or on
+// a nil trace).
+func (t *Trace) Get(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur[name]
+}
+
+// Stages snapshots the stages in first-seen order. Nil returns nil.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, Stage{Name: name, Duration: t.dur[name]})
+	}
+	return out
+}
+
+// Span is one in-flight timing of a stage; End adds the elapsed time to the
+// owning trace.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start begins timing the named stage. On a nil trace it returns a nil span
+// whose End is a no-op.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// End stops the span and accumulates its duration. Nil-safe; End at most once.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.t.Add(sp.name, time.Since(sp.start))
+}
+
+type ctxKey struct{}
+
+// NewContext attaches the trace to the context. A nil trace returns ctx
+// unchanged, so disabled tracing adds no context layer to look through.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace attached to ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,94 @@
+package span
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAccumulatesAndKeepsOrder(t *testing.T) {
+	tr := New()
+	tr.Add("score", 10*time.Millisecond)
+	tr.Add("encode", 1*time.Millisecond)
+	tr.Add("score", 5*time.Millisecond)
+
+	if got := tr.Get("score"); got != 15*time.Millisecond {
+		t.Errorf("Get(score) = %v, want 15ms", got)
+	}
+	if got := tr.Get("absent"); got != 0 {
+		t.Errorf("Get(absent) = %v, want 0", got)
+	}
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Name != "score" || stages[1].Name != "encode" {
+		t.Errorf("Stages() = %v, want score then encode in first-seen order", stages)
+	}
+}
+
+func TestSpanEnd(t *testing.T) {
+	tr := New()
+	sp := tr.Start("work")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if tr.Get("work") <= 0 {
+		t.Errorf("span booked no time: %v", tr.Get("work"))
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", time.Second) // must not panic
+	if tr.Get("x") != 0 {
+		t.Error("nil Get returned non-zero")
+	}
+	if tr.Stages() != nil {
+		t.Error("nil Stages returned non-nil")
+	}
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Error("nil Start returned a span")
+	}
+	sp.End() // nil span End must not panic
+
+	ctx := context.Background()
+	if got := NewContext(ctx, tr); got != ctx {
+		t.Error("NewContext(nil trace) should return ctx unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on a bare context should be nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+	// The layer holding the ctx books time against the caller's trace.
+	FromContext(ctx).Add("score", time.Millisecond)
+	if tr.Get("score") != time.Millisecond {
+		t.Error("time booked through the context did not reach the trace")
+	}
+}
+
+// TestConcurrentAdd models parallel scoring goroutines booking into one
+// request's trace; run under -race.
+func TestConcurrentAdd(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add("score", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Get("score"); got != n*100*time.Microsecond {
+		t.Errorf("accumulated %v, want %v", got, n*100*time.Microsecond)
+	}
+}

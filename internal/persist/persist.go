@@ -33,7 +33,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/seio"
 )
 
@@ -58,6 +60,26 @@ type Options struct {
 	Fsync bool
 	// SegmentBytes is the roll threshold; default DefaultSegmentBytes.
 	SegmentBytes int64
+	// Metrics, when non-nil, receives latency/size observations from the
+	// hot paths (append, fsync, snapshot writes). Nil (the default for CLI
+	// tools and tests) skips all instrumentation including the clock reads.
+	Metrics *Metrics
+}
+
+// Metrics is the set of instruments a Log feeds when Options.Metrics is set.
+// Individual fields may be nil; the instruments are nil-receiver-safe.
+type Metrics struct {
+	// AppendSeconds observes the full Append critical section (frame write
+	// plus fsync when enabled), successes only.
+	AppendSeconds *metrics.Histogram
+	// FsyncSeconds observes just the per-append fsync, successes only.
+	// Unpopulated when Options.Fsync is off.
+	FsyncSeconds *metrics.Histogram
+	// SnapshotSeconds observes the duration of a successful Compact snapshot
+	// write (state dump, fsync, and publish rename).
+	SnapshotSeconds *metrics.Histogram
+	// SnapshotBytes tracks the byte size of the newest published snapshot.
+	SnapshotBytes *metrics.Gauge
 }
 
 // RecoveryStats describes what Open replayed.
@@ -429,6 +451,11 @@ func (l *Log) Append(rec *seio.WALRecord) error {
 	if l.closed {
 		return ErrClosed
 	}
+	m := l.opts.Metrics
+	var appendStart time.Time
+	if m != nil {
+		appendStart = time.Now()
+	}
 	n, err := seio.WriteWALRecord(l.f, rec)
 	if err != nil {
 		// A failed write may have left a partial frame. Cut it back off so
@@ -444,6 +471,10 @@ func (l *Log) Append(rec *seio.WALRecord) error {
 		return err
 	}
 	if l.opts.Fsync {
+		var fsyncStart time.Time
+		if m != nil {
+			fsyncStart = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			// The caller will refuse the mutation, so the already-written
 			// frame must not stay in the log — a restart would silently
@@ -455,6 +486,12 @@ func (l *Log) Append(rec *seio.WALRecord) error {
 			}
 			return fmt.Errorf("persist: fsync wal: %w", err)
 		}
+		if m != nil {
+			m.FsyncSeconds.ObserveSince(fsyncStart)
+		}
+	}
+	if m != nil {
+		m.AppendSeconds.ObserveSince(appendStart)
 	}
 	l.size += n
 	l.appends.Add(1)
@@ -526,6 +563,11 @@ func (l *Log) Compact(build func(write func(*seio.WALRecord) error) error) error
 	covered := l.seq - 1
 	l.mu.Unlock()
 
+	m := l.opts.Metrics
+	var snapStart time.Time
+	if m != nil {
+		snapStart = time.Now()
+	}
 	final := filepath.Join(l.opts.Dir, snapName(covered))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -533,11 +575,12 @@ func (l *Log) Compact(build func(write func(*seio.WALRecord) error) error) error
 		return fmt.Errorf("persist: create snapshot temp: %w", err)
 	}
 	bw := newBufWriter(f)
-	var recs int64
+	var recs, snapBytes int64
 	err = build(func(rec *seio.WALRecord) error {
-		_, werr := seio.WriteWALRecord(bw, rec)
+		n, werr := seio.WriteWALRecord(bw, rec)
 		if werr == nil {
 			recs++
+			snapBytes += n
 		}
 		return werr
 	})
@@ -560,6 +603,10 @@ func (l *Log) Compact(build func(write func(*seio.WALRecord) error) error) error
 	}
 	if err := syncDir(l.opts.Dir); err != nil {
 		return fmt.Errorf("persist: sync data dir: %w", err)
+	}
+	if m != nil {
+		m.SnapshotSeconds.ObserveSince(snapStart)
+		m.SnapshotBytes.Set(snapBytes)
 	}
 
 	l.mu.Lock()

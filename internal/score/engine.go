@@ -36,8 +36,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/metrics/span"
 )
 
 const (
@@ -92,6 +95,7 @@ type Engine struct {
 	inst    *core.Instance
 	workers int
 	tasks   chan func()
+	sink    *Sink
 
 	closeOnce sync.Once
 
@@ -99,6 +103,32 @@ type Engine struct {
 	batches atomic.Int64
 	fanouts atomic.Int64
 }
+
+// Sink is an optional set of shared telemetry instruments an engine reports
+// into, on top of its private Stats counters. sesd wires one Sink into every
+// engine of its cache so engine churn (LRU eviction, per-version rebuilds)
+// never resets the exported time series. Instrument fields may be nil
+// (nil-safe no-ops); a nil Sink disables reporting entirely. Reporting adds
+// one atomic per counted event and one clock read per batch — it never
+// touches the scoring arithmetic, so results stay bit-identical.
+type Sink struct {
+	// Evals counts Eq. 4 evaluations; Batches counts ScoreBatch calls that
+	// ran to completion; Fanouts counts evaluations/batches that engaged the
+	// worker set.
+	Evals   *metrics.Counter
+	Batches *metrics.Counter
+	Fanouts *metrics.Counter
+	// BatchCandidates observes the candidate-frontier width of each batch
+	// (the per-batch shard fan-out the schedulers request); BatchSeconds
+	// observes each batch's wall time.
+	BatchCandidates *metrics.Histogram
+	BatchSeconds    *metrics.Histogram
+}
+
+// SetSink attaches the shared telemetry sink. Call before the engine is
+// shared across goroutines (sesd sets it right after construction); a nil
+// sink keeps reporting off.
+func (en *Engine) SetSink(s *Sink) { en.sink = s }
 
 // New builds an engine for the instance, precomputing the dense per-interval
 // competition rows. opts.Workers sizes the worker set: ≤ 1 means sequential,
@@ -200,6 +230,9 @@ func (en *Engine) Score(s *core.Schedule, e, t int) float64 {
 		return en.scoreSharded(s, e, t)
 	}
 	en.evals.Add(1)
+	if sk := en.sink; sk != nil {
+		sk.Evals.Inc()
+	}
 	return en.scoreShards(s, e, t)
 }
 
@@ -207,6 +240,10 @@ func (en *Engine) Score(s *core.Schedule, e, t int) float64 {
 // reduces the partials in shard order.
 func (en *Engine) scoreSharded(s *core.Schedule, e, t int) float64 {
 	en.fanouts.Add(1)
+	if sk := en.sink; sk != nil {
+		sk.Fanouts.Inc()
+		sk.Evals.Inc()
+	}
 	nU := en.inst.NumUsers()
 	nShards := (nU + chunkUsers - 1) / chunkUsers
 	partial := make([]float64, nShards)
@@ -259,6 +296,26 @@ func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Cand
 	if len(out) < len(cands) {
 		panic("score: ScoreBatch output buffer shorter than candidate list")
 	}
+	// Stage timing: a request-scoped trace riding ctx (span.FromContext) gets
+	// the batch's wall time attributed to its "score" stage, and the shared
+	// sink observes batch width and duration. Both are off (two nil checks)
+	// for bench and CLI runs, and neither touches the scoring arithmetic.
+	tr := span.FromContext(ctx)
+	var batchStart time.Time
+	if tr != nil || en.sink != nil {
+		batchStart = time.Now()
+	}
+	defer func() {
+		if batchStart.IsZero() {
+			return
+		}
+		d := time.Since(batchStart)
+		tr.Add("score", d)
+		if sk := en.sink; sk != nil {
+			sk.BatchSeconds.Observe(d.Seconds())
+			sk.BatchCandidates.Observe(float64(len(cands)))
+		}
+	}()
 	nU := en.inst.NumUsers()
 	if en.workers <= 1 || len(cands) < 2 || len(cands)*nU < batchParallelWork {
 		for i, cd := range cands {
@@ -271,6 +328,9 @@ func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Cand
 		}
 	} else {
 		en.fanouts.Add(1)
+		if sk := en.sink; sk != nil {
+			sk.Fanouts.Inc()
+		}
 		var next atomic.Int64
 		run := func() {
 			for ctx.Err() == nil {
@@ -301,6 +361,10 @@ func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Cand
 	}
 	en.evals.Add(int64(len(cands)))
 	en.batches.Add(1)
+	if sk := en.sink; sk != nil {
+		sk.Evals.Add(int64(len(cands)))
+		sk.Batches.Inc()
+	}
 	return nil
 }
 

@@ -36,6 +36,10 @@ type engineEntry struct {
 type engineCache struct {
 	workers  int
 	capacity int
+	// sink, when set (by the server before traffic), is attached to every
+	// engine this cache builds so batched scoring reports into the shared
+	// score metrics. Nil leaves engines uninstrumented.
+	sink *score.Sink
 
 	mu     sync.Mutex
 	m      map[engineKey]*engineEntry
@@ -77,6 +81,7 @@ func (ec *engineCache) acquire(key engineKey, inst *core.Instance, opts core.Sco
 	if err != nil {
 		return nil, nil, err
 	}
+	en.SetSink(ec.sink)
 	if closed {
 		// Shutdown straggler: hand out a private engine, never cache it.
 		return en, en.Close, nil
@@ -188,6 +193,13 @@ type EngineCacheStats struct {
 	// are reusing the per-version precompute and worker sets.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+}
+
+// len reports the number of currently cached engines (for the metrics gauge).
+func (ec *engineCache) len() int {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return len(ec.m)
 }
 
 // stats samples the cache counters.

@@ -4,30 +4,55 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	ses "repro"
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/metrics/span"
+	"repro/internal/persist"
 	"repro/internal/seio"
 	"repro/internal/sim"
 )
+
+// HealthStatus is the /healthz response body: enough for a probe to tell a
+// fresh boot from a recovered one without parsing logs.
+type HealthStatus struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Durable reports whether a WAL is attached (-data-dir).
+	Durable bool `json:"durable"`
+	// Recovered is true when boot-time replay applied any prior state — a
+	// snapshot, WAL records, or a torn tail it had to truncate.
+	Recovered bool `json:"recovered"`
+	// Recovery echoes what replay applied (snapshot used, segments/records
+	// replayed); constant after startup, omitted memory-only.
+	Recovery   *persist.RecoveryStats `json:"recovery,omitempty"`
+	RecoveryMS float64                `json:"recovery_ms,omitempty"`
+}
 
 // handleHealthz reports readiness. New finishes WAL replay before it returns
 // the Server, so a reachable handler IS a recovered one — the 503-recovering
 // phase lives in cli.Sesd, which answers for the listener while New replays.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.count("healthz")
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	h := HealthStatus{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Durable:       s.wal != nil,
+	}
+	if rec := s.recovery; rec != nil {
+		h.Recovered = rec.SnapshotRecords > 0 || rec.Records > 0 || rec.TornBytes > 0
+		h.Recovery = rec
+		h.RecoveryMS = s.recoveryMS
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.count("stats")
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.count("list_instances")
 	writeJSON(w, http.StatusOK, struct {
 		Instances []seio.InstanceInfo `json:"instances"`
 	}{s.store.List()})
@@ -37,7 +62,6 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 //
 //	curl -X PUT --data-binary @instance.json localhost:8080/instances/friday
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
-	s.count("put_instance")
 	name := r.PathValue("name")
 	inst, err := seio.ReadInstance(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -62,7 +86,6 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	s.count("get_instance")
 	name := r.PathValue("name")
 	inst, info, err := s.store.Get(name)
 	if err != nil {
@@ -80,7 +103,6 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.count("delete_instance")
 	name := r.PathValue("name")
 	ok, err := s.store.Delete(name)
 	if err != nil {
@@ -100,7 +122,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // new store version. In-flight solves keep their snapshot; the instance's
 // cached results are invalidated.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	s.count("mutate_instance")
 	name := r.PathValue("name")
 	var req seio.MutateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -166,7 +187,6 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, run func()) b
 // snapshot of the instance, with an O(1) fast path for repeated identical
 // queries via the result cache.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.count("solve")
 	name := r.PathValue("name")
 	var req seio.SolveRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -204,6 +224,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Opt-in stage tracing: the trace rides the request context into the
+	// scoring engine, which books batched-scoring time against it. Nil when
+	// not requested, making every span call below a no-op.
+	var tr *span.Trace
+	if req.Timings {
+		tr = span.New()
+	}
 	var (
 		resp   seio.SolveResponse
 		slvErr error
@@ -212,8 +239,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// Solves of one instance version share one scoring engine: the
 		// dense precompute and (with ScoreWorkers) the scoring worker set
 		// are paid once per version, not per request.
+		acq := tr.Start("engine_acquire")
 		en, releaseEngine, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: key.opts}, inst, opts)
+		acq.End()
 		if err != nil {
 			slvErr = err
 			return
@@ -222,24 +251,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The request's context rides into the solver: a client that
 		// disconnects mid-solve frees its worker at the next periodic
 		// cancellation check instead of holding it to completion.
-		res, err := algo.WithEngine(sched, en).ScheduleCtx(r.Context(), inst, req.K)
+		res, err := algo.WithEngine(sched, en).ScheduleCtx(span.NewContext(r.Context(), tr), inst, req.K)
 		if err != nil {
 			slvErr = err
 			return
 		}
 		s.scoreEvals.Add(res.ScoreEvals)
 		s.examined.Add(res.Examined)
+		enc := tr.Start("encode")
+		msg := seio.NewScheduleMsg(inst, res.Schedule)
+		enc.End()
 		resp = seio.SolveResponse{
 			Instance:   info,
 			Algorithm:  req.Algorithm,
 			K:          req.K,
-			Schedule:   seio.NewScheduleMsg(inst, res.Schedule),
+			Schedule:   msg,
 			ScoreEvals: res.ScoreEvals,
 			Examined:   res.Examined,
 			ElapsedMS:  seio.DurationMS(res.Elapsed),
 		}
+		// Cache and log the response WITHOUT stages: a cached or replayed
+		// response must not present another run's timings as its own.
 		s.cache.Put(key, resp)
 		s.appendSolveRecord(key, resp)
+		resp.Stages = stageBreakdown(tr, res.Elapsed)
 	}) {
 		return
 	}
@@ -250,12 +285,34 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// stageBreakdown renders a solve's trace as the response's stage list:
+// engine_acquire and encode are measured directly, "score" is the batched
+// frontier-scoring time the engine booked against the trace, and "select" is
+// the remainder of the solver's elapsed time (candidate enumeration, argmax
+// selection, and any scoring done outside batched calls). Nil trace → nil.
+func stageBreakdown(tr *span.Trace, solveElapsed time.Duration) []seio.StageTiming {
+	if tr == nil {
+		return nil
+	}
+	scoreD := tr.Get("score")
+	selectD := solveElapsed - scoreD
+	if selectD < 0 {
+		// Parallel scoring can book more stage time than wall time.
+		selectD = 0
+	}
+	return []seio.StageTiming{
+		{Stage: "engine_acquire", MS: seio.DurationMS(tr.Get("engine_acquire"))},
+		{Stage: "score", MS: seio.DurationMS(scoreD)},
+		{Stage: "select", MS: seio.DurationMS(selectD)},
+		{Stage: "encode", MS: seio.DurationMS(tr.Get("encode"))},
+	}
+}
+
 // handleExtend grows a client-provided base schedule by extra greedy
 // selections against the current snapshot (the organizer's re-planning
 // workflow). Extend results depend on the arbitrary base, so they bypass the
 // result cache.
 func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
-	s.count("extend")
 	name := r.PathValue("name")
 	var req seio.ExtendRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -277,34 +334,44 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := core.ScorerOptions{UserWeights: req.UserWeights, EventCost: req.EventCosts}
+	var tr *span.Trace
+	if req.Timings {
+		tr = span.New()
+	}
 	var (
 		resp   seio.SolveResponse
 		extErr error
 	)
 	if !s.runPooled(w, r, func() {
+		acq := tr.Start("engine_acquire")
 		en, releaseEngine, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: optsFingerprint(req.UserWeights, req.EventCosts)},
 			inst, opts)
+		acq.End()
 		if err != nil {
 			extErr = err
 			return
 		}
 		defer releaseEngine()
-		res, err := algo.ExtendWithEngine(r.Context(), en, base, req.Extra)
+		res, err := algo.ExtendWithEngine(span.NewContext(r.Context(), tr), en, base, req.Extra)
 		if err != nil {
 			extErr = err
 			return
 		}
 		s.scoreEvals.Add(res.ScoreEvals)
 		s.examined.Add(res.Examined)
+		enc := tr.Start("encode")
+		msg := seio.NewScheduleMsg(inst, res.Schedule)
+		enc.End()
 		resp = seio.SolveResponse{
 			Instance:   info,
 			Algorithm:  "EXTEND",
 			K:          req.Extra,
-			Schedule:   seio.NewScheduleMsg(inst, res.Schedule),
+			Schedule:   msg,
 			ScoreEvals: res.ScoreEvals,
 			Examined:   res.Examined,
 			ElapsedMS:  seio.DurationMS(res.Elapsed),
+			Stages:     stageBreakdown(tr, res.Elapsed),
 		}
 	}) {
 		return
@@ -319,7 +386,6 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 // handleSimulate Monte-Carlo-validates a schedule against the analytic
 // utility (internal/sim) on the current snapshot.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.count("simulate")
 	name := r.PathValue("name")
 	var req seio.SimulateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -377,7 +443,6 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // version and renders the organizer-facing report. It is cheap (one scorer
 // pass per assignment), so it runs inline rather than on the pool.
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
-	s.count("summarize")
 	name := r.PathValue("name")
 	var req seio.SummarizeRequest
 	if err := s.decodeBody(w, r, &req); err != nil {

@@ -482,6 +482,14 @@ type JobsStats struct {
 	CellsCancelled int64 `json:"cells_cancelled"`
 }
 
+// retained reports the number of currently retained jobs (for the metrics
+// gauge).
+func (js *Jobs) retained() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.m)
+}
+
 // Stats samples the job counters.
 func (js *Jobs) Stats() JobsStats {
 	js.mu.Lock()
@@ -510,7 +518,6 @@ func seedKeyFor(algorithm string, seed uint64) uint64 {
 // handleSubmitJob validates and registers a sweep job, then starts its
 // dispatcher. The response is the job's initial status (202 Accepted).
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	s.count("submit_job")
 	name := r.PathValue("name")
 	var req seio.JobRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -685,7 +692,6 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 // handleGetJob returns the job's full status including the per-cell partial
 // results of a still-running sweep.
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	s.count("get_job")
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
@@ -696,7 +702,6 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 // handleListJobs returns every retained job's summary.
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	s.count("list_jobs")
 	writeJSON(w, http.StatusOK, seio.JobListResponse{Jobs: s.jobs.List()})
 }
 
@@ -705,7 +710,6 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 // no-op; either way the job's current status is returned (it stays pollable
 // until the TTL retires it).
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	s.count("cancel_job")
 	j, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)

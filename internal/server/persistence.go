@@ -47,6 +47,7 @@ func (s *Server) openPersistence() error {
 		Dir:          s.cfg.DataDir,
 		Fsync:        s.cfg.Fsync,
 		SegmentBytes: s.cfg.SegmentBytes,
+		Metrics:      s.persistM,
 	}, s.replayRecord)
 	if err != nil {
 		return fmt.Errorf("server: recover %s: %w", s.cfg.DataDir, err)

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // ErrBusy is returned by Pool.Submit when the job queue is full; HTTP
@@ -18,8 +21,9 @@ var ErrPoolClosed = errors.New("server: solver pool is closed")
 // job is one unit of solver work. ctx is the submitting request's context:
 // jobs whose request died while queued are skipped, not executed.
 type job struct {
-	ctx context.Context
-	run func()
+	ctx      context.Context
+	run      func()
+	enqueued time.Time
 }
 
 // Pool is a bounded worker pool: a fixed number of solver goroutines
@@ -35,6 +39,11 @@ type Pool struct {
 	// instead of panicking on a closed channel.
 	closeMu sync.RWMutex
 	closed  bool
+
+	// queueWait, when set (by the server before traffic), observes how long
+	// each dequeued job sat in the queue — the backpressure latency signal.
+	// Nil-safe for direct Pool users.
+	queueWait *metrics.Histogram
 
 	workers   int
 	active    atomic.Int64
@@ -65,6 +74,7 @@ func NewPool(workers, queue int) *Pool {
 func (p *Pool) work() {
 	defer p.wg.Done()
 	for j := range p.jobs {
+		p.queueWait.ObserveSince(j.enqueued)
 		if j.ctx.Err() != nil {
 			p.skipped.Add(1)
 			continue
@@ -102,7 +112,7 @@ func (p *Pool) Submit(ctx context.Context, run func()) error {
 		return ErrPoolClosed
 	}
 	select {
-	case p.jobs <- job{ctx: ctx, run: run}:
+	case p.jobs <- job{ctx: ctx, run: run, enqueued: time.Now()}:
 		return nil
 	default:
 		p.rejected.Add(1)
@@ -126,7 +136,7 @@ func (p *Pool) SubmitWait(ctx context.Context, run func()) error {
 		return ErrPoolClosed
 	}
 	select {
-	case p.jobs <- job{ctx: ctx, run: run}:
+	case p.jobs <- job{ctx: ctx, run: run, enqueued: time.Now()}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -4,13 +4,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/persist"
+	"repro/internal/score"
 	"repro/internal/seio"
 )
 
@@ -59,6 +63,10 @@ type Config struct {
 	// CompactEvery rolls the segments into a full snapshot after this many
 	// WAL records, bounding replay cost; default 4096.
 	CompactEvery int
+	// Logger receives the structured access log (one line per request) and
+	// lifecycle events. Nil discards them — tests and embedded servers stay
+	// silent without configuration.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -95,9 +103,10 @@ func (c Config) withDefaults() Config {
 // routes names every endpoint once: the /stats request counters and the mux
 // registration both iterate it, so the two cannot drift apart.
 var routes = []string{
-	"healthz", "stats", "list_instances", "put_instance", "get_instance",
-	"delete_instance", "mutate_instance", "solve", "extend", "simulate",
-	"summarize", "submit_job", "get_job", "list_jobs", "cancel_job",
+	"healthz", "stats", "metrics", "list_instances", "put_instance",
+	"get_instance", "delete_instance", "mutate_instance", "solve", "extend",
+	"simulate", "summarize", "submit_job", "get_job", "list_jobs",
+	"cancel_job",
 }
 
 // Server is the sesd HTTP service: store + pool + cache + async jobs behind
@@ -113,6 +122,20 @@ type Server struct {
 
 	started time.Time
 	counts  map[string]*atomic.Int64
+
+	// Observability (built by initMetrics before any traffic). The registry
+	// holds every instrument; the named fields are the write-path handles the
+	// middleware and handlers bump directly.
+	reg          *metrics.Registry
+	logger       *slog.Logger
+	httpRequests *metrics.CounterVec
+	httpDuration *metrics.HistogramVec
+	httpInFlight *metrics.Gauge
+	scoreSink    *score.Sink
+	persistM     *persist.Metrics
+	ridPrefix    string
+	reqSeq       atomic.Int64
+
 	// scoreEvals / examined accumulate the work counters of every solver
 	// run executed by the pool; a cache hit adds nothing, which is how the
 	// lifecycle test observes "no new scorer work".
@@ -152,7 +175,15 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
+		logger:  cfg.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.ridPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
+	// Metrics exist before persistence opens: the WAL takes its histograms at
+	// Open time, and recovery itself is something we want measured.
+	s.initMetrics()
 	if cfg.DataDir != "" {
 		if err := s.openPersistence(); err != nil {
 			s.jobs.Close()
@@ -164,21 +195,22 @@ func New(cfg Config) (*Server, error) {
 	for _, r := range routes {
 		s.counts[r] = new(atomic.Int64)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /instances", s.handleList)
-	s.mux.HandleFunc("PUT /instances/{name}", s.handlePut)
-	s.mux.HandleFunc("GET /instances/{name}", s.handleGet)
-	s.mux.HandleFunc("DELETE /instances/{name}", s.handleDelete)
-	s.mux.HandleFunc("PATCH /instances/{name}", s.handleMutate)
-	s.mux.HandleFunc("POST /instances/{name}/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /instances/{name}/extend", s.handleExtend)
-	s.mux.HandleFunc("POST /instances/{name}/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /instances/{name}/summarize", s.handleSummarize)
-	s.mux.HandleFunc("POST /instances/{name}/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /instances", s.instrument("list_instances", s.handleList))
+	s.mux.Handle("PUT /instances/{name}", s.instrument("put_instance", s.handlePut))
+	s.mux.Handle("GET /instances/{name}", s.instrument("get_instance", s.handleGet))
+	s.mux.Handle("DELETE /instances/{name}", s.instrument("delete_instance", s.handleDelete))
+	s.mux.Handle("PATCH /instances/{name}", s.instrument("mutate_instance", s.handleMutate))
+	s.mux.Handle("POST /instances/{name}/solve", s.instrument("solve", s.handleSolve))
+	s.mux.Handle("POST /instances/{name}/extend", s.instrument("extend", s.handleExtend))
+	s.mux.Handle("POST /instances/{name}/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.Handle("POST /instances/{name}/summarize", s.instrument("summarize", s.handleSummarize))
+	s.mux.Handle("POST /instances/{name}/jobs", s.instrument("submit_job", s.handleSubmitJob))
+	s.mux.Handle("GET /jobs", s.instrument("list_jobs", s.handleListJobs))
+	s.mux.Handle("GET /jobs/{id}", s.instrument("get_job", s.handleGetJob))
+	s.mux.Handle("DELETE /jobs/{id}", s.instrument("cancel_job", s.handleCancelJob))
 	return s, nil
 }
 

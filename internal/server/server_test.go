@@ -403,7 +403,10 @@ func ExampleServer() {
 		panic(err)
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	fmt.Print(string(body))
+	var health HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		panic(err)
+	}
+	fmt.Print(health.Status)
 	// Output: ok
 }
