@@ -1,0 +1,175 @@
+package algo
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// ResolveInfo reports how a warm re-solve was answered.
+type ResolveInfo struct {
+	// Replayed is true when the previous schedule was verified pick by pick
+	// and returned directly; false means the scheduler ran in full (on the
+	// warm engine, so the initial frontier still comes from the grid cache).
+	Replayed bool
+}
+
+// Resolve re-solves an instance after a mutation, reusing the engine en (a
+// warm delta rebuild when the server's engine cache could retire one) and,
+// when prev is non-nil, the previous version's schedule.
+//
+// Two modes, selected by replay:
+//
+//   - Exact (replay=false, the server's default and the mode the CI equality
+//     gate pins): the named scheduler simply runs against en. Its output AND
+//     its work counters are bit-identical to a cold solve of the same
+//     version, because all reuse lives below the scheduler — the engine's
+//     delta-rebuilt accumulators and its empty-schedule grid serve the same
+//     bits a cold engine would compute, and schedulers account ScoreEvals
+//     for every candidate whether the engine computed or remembered it.
+//
+//   - Verified replay (replay=true): for the greedy family (ALG, INC — the
+//     same selection sequence by Proposition 3) the previous schedule is
+//     replayed one pick at a time, each pick proven still the greedy argmax
+//     using Proposition 1 (empty-schedule scores bound scores under any
+//     partial schedule, and the bound is exact for intervals the partial
+//     schedule has not touched). A proven replay returns the bit-identical
+//     schedule and utility while evaluating only the picked assignments and
+//     the rare bound-beating challengers — its Counters report that smaller
+//     verification work, not the cold run's. Any unproven pick, a non-greedy
+//     scheduler (HOR/HOR-I layer selection is not pickwise-verifiable this
+//     way; TOP/RAND are cheap anyway), or a short prev falls back to the
+//     exact mode.
+func Resolve(ctx context.Context, name string, seed uint64, en *score.Engine, k int, prev []core.Assignment, replay bool) (*Result, ResolveInfo, error) {
+	if k <= 0 {
+		return nil, ResolveInfo{}, ErrBadK
+	}
+	if replay && prev != nil && (name == "ALG" || name == "INC") {
+		if res, err := replayGreedy(ctx, en, k, prev); err != nil {
+			return nil, ResolveInfo{}, err
+		} else if res != nil {
+			return res, ResolveInfo{Replayed: true}, nil
+		}
+	}
+	s, err := NewWithEngine(name, seed, en)
+	if err != nil {
+		return nil, ResolveInfo{}, err
+	}
+	res, err := s.ScheduleCtx(ctx, en.Instance(), k)
+	return res, ResolveInfo{}, err
+}
+
+// replayGreedy verifies that prev is still the greedy selection sequence on
+// en's (mutated) instance and returns its Result, or (nil, nil) when any
+// pick cannot be proven so the caller falls back to a full run.
+//
+// Soundness: the greedy family picks argmax over valid assignments under
+// betterFull. For a candidate in an interval the current partial schedule
+// has not assigned into, score(e,t|S) = score(e,t|∅) exactly (Eq. 4 only
+// reads S's assignments sharing the interval); for a touched interval the
+// empty-schedule score is an upper bound (Proposition 1). So a pick (e*,t*)
+// with exact score x is proven when no other valid candidate's bound beats x
+// under the tie-break — and a bound-beating candidate in a touched interval
+// is settled by computing its exact score. Only an exact winner disproves
+// the pick.
+func replayGreedy(ctx context.Context, en *score.Engine, k int, prev []core.Assignment) (*Result, error) {
+	if len(prev) > k {
+		return nil, nil // smaller k than the previous solve: just re-run
+	}
+	g := newGuard(ctx, k)
+	if err := g.point(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	inst := en.Instance()
+	nE, nT := inst.NumEvents(), inst.NumIntervals()
+	s := core.NewSchedule(inst)
+	var c Counters
+
+	// Empty-schedule bounds for every pair, one batch. On a warm engine this
+	// is served from the grid (no computed evals); on a cold one it fills
+	// the grid for everything after it. Either way it is a table read, not
+	// verification work, so it is charged to neither counter — replay-mode
+	// Counters measure exactly the per-pick proof cost (the engine's own
+	// stats still account any computed fill).
+	bounds := make([]float64, nE*nT)
+	cands := make([]score.Candidate, 0, nE*nT)
+	for e := 0; e < nE; e++ {
+		for t := 0; t < nT; t++ {
+			cands = append(cands, score.Candidate{Event: e, Interval: t})
+		}
+	}
+	if err := en.ScoreBatch(g.ctx, s, cands, bounds); err != nil {
+		return nil, err
+	}
+	if err := g.batch(len(cands)); err != nil {
+		return nil, err
+	}
+
+	touched := make([]bool, nT)
+	for _, a := range prev {
+		if err := g.point(); err != nil {
+			return nil, err
+		}
+		if !s.Valid(a.Event, a.Interval) {
+			return nil, nil // mutation broke feasibility of the old pick
+		}
+		x := en.Score(s, a.Event, a.Interval)
+		c.ScoreEvals++
+		if err := g.step(); err != nil {
+			return nil, err
+		}
+		for e := 0; e < nE; e++ {
+			if _, assigned := s.AssignedInterval(e); assigned {
+				continue
+			}
+			for t := 0; t < nT; t++ {
+				if e == a.Event && t == a.Interval {
+					continue
+				}
+				c.Examined++
+				if !s.Feasible(e, t) {
+					continue
+				}
+				ub := bounds[e*nT+t]
+				if !betterFull(ub, int32(e), t, x, int32(a.Event), a.Interval) {
+					continue // bound cannot beat the pick: candidate ruled out
+				}
+				if !touched[t] {
+					return nil, nil // bound is exact here: the pick changed
+				}
+				// Touched interval: the bound is slack. Settle exactly.
+				exact := en.Score(s, e, t)
+				c.ScoreEvals++
+				if err := g.step(); err != nil {
+					return nil, err
+				}
+				if betterFull(exact, int32(e), t, x, int32(a.Event), a.Interval) {
+					return nil, nil // a genuinely better candidate exists
+				}
+			}
+		}
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			return nil, err
+		}
+		touched[a.Interval] = true
+		if err := g.selected(s.Len()); err != nil {
+			return nil, err
+		}
+	}
+	if s.Len() < k {
+		// The previous run stopped early (k unreachable then). Whether it
+		// still is depends on feasibility we have not verified; re-run.
+		for e := 0; e < nE; e++ {
+			for t := 0; t < nT; t++ {
+				c.Examined++
+				if s.Valid(e, t) {
+					return nil, nil
+				}
+			}
+		}
+	}
+	return finish(en, s, c, start), nil
+}

@@ -1,0 +1,216 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// resolveMutate applies a small deterministic mutation for step i and
+// returns the scorer-level dirty set, mirroring what the server derives from
+// a MutateRequest.
+func resolveMutate(t *testing.T, inst *core.Instance, i int) core.ScorerDelta {
+	t.Helper()
+	nE, nT, nC := inst.NumEvents(), inst.NumIntervals(), inst.NumCompeting()
+	e := (i * 3) % nE
+	inst.SetInterest((i*7)%inst.NumUsers(), e, float64(i%10)/10)
+	d := core.ScorerDelta{Events: []int{e}}
+	if nC > 0 {
+		ci := (i * 5) % nC
+		inst.SetCompetingInterest((i*11)%inst.NumUsers(), ci, float64((i+3)%10)/10)
+		d.CompIntervals = []int{inst.Competing[ci].Interval}
+	}
+	tt := (i * 2) % nT
+	inst.SetActivity((i*13)%inst.NumUsers(), tt, float64((i+5)%10)/10)
+	d.ActIntervals = []int{tt}
+	return core.ScorerDelta{}.Merge(d)
+}
+
+func sameResult(t *testing.T, label string, warm, cold *Result) {
+	t.Helper()
+	if warm.Utility != cold.Utility {
+		t.Errorf("%s: utility %v warm vs %v cold", label, warm.Utility, cold.Utility)
+	}
+	if warm.Counters != cold.Counters {
+		t.Errorf("%s: counters %+v warm vs %+v cold", label, warm.Counters, cold.Counters)
+	}
+	gw, gc := warm.Schedule.Assignments(), cold.Schedule.Assignments()
+	if len(gw) != len(gc) {
+		t.Fatalf("%s: %d selections warm vs %d cold", label, len(gw), len(gc))
+	}
+	for j := range gw {
+		if gw[j] != gc[j] {
+			t.Errorf("%s: selection %d = %+v warm vs %+v cold", label, j, gw[j], gc[j])
+		}
+	}
+}
+
+// The exact-mode gate of the incremental re-solve feature: across a chain of
+// mutations, every scheduler run on a warm delta-rebuilt engine must be
+// bit-identical — utility, ScoreEvals, Examined, selection sequence — to the
+// same scheduler on a cold engine of the mutated instance, at every worker
+// count. This is the algo-level half of the CI parallel-equality gate
+// (engine-level bit-identity lives in score's TestWarmEngineBitIdentical).
+func TestResolveExactMatchesCold(t *testing.T) {
+	for _, workers := range []int{0, 3, 8} {
+		opts := core.ScorerOptions{Workers: workers}
+		inst := randomInstance(61, 14, 6, 5, 150, 5)
+		warm, err := score.New(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 1; step <= 3; step++ {
+			next := inst.Snapshot()
+			d := resolveMutate(t, next, step)
+			w2, err := score.NewFromPrevious(warm, next, opts, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm.Close()
+			warm, inst = w2, next
+			cold, err := score.New(inst, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range Names() {
+				rw, _, err := Resolve(context.Background(), name, 9, warm, 5, nil, false)
+				if err != nil {
+					t.Fatalf("%s warm: %v", name, err)
+				}
+				rc, _, err := Resolve(context.Background(), name, 9, cold, 5, nil, false)
+				if err != nil {
+					t.Fatalf("%s cold: %v", name, err)
+				}
+				label := name + " w=" + string(rune('0'+workers))
+				sameResult(t, label, rw, rc)
+			}
+			cold.Close()
+		}
+		warm.Close()
+	}
+}
+
+// Verified replay must return the cold schedule and utility whenever it
+// claims a replay, and fall back (still bit-identical, counters included)
+// whenever it cannot prove the old picks. Driven over a mutation chain so
+// both outcomes occur.
+func TestResolveReplayCorrect(t *testing.T) {
+	inst := randomInstance(62, 12, 5, 4, 120, 5)
+	en, err := score.New(inst, core.ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevByName := map[string][]core.Assignment{}
+	replayed, fellBack := 0, 0
+	for step := 1; step <= 6; step++ {
+		next := inst.Snapshot()
+		d := resolveMutate(t, next, step)
+		w2, err := score.NewFromPrevious(en, next, core.ScorerOptions{}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en.Close()
+		en, inst = w2, next
+		cold, err := score.New(inst, core.ScorerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"ALG", "INC"} {
+			rc, _, err := Resolve(context.Background(), name, 0, cold, 4, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rw, info, err := Resolve(context.Background(), name, 0, en, 4, prevByName[name], true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Replayed {
+				replayed++
+				// A replay proves the same selections and utility; its
+				// counters measure verification work, not the cold run's.
+				if rw.Utility != rc.Utility {
+					t.Errorf("step %d %s: replay utility %v vs cold %v", step, name, rw.Utility, rc.Utility)
+				}
+				gw, gc := rw.Schedule.Assignments(), rc.Schedule.Assignments()
+				if len(gw) != len(gc) {
+					t.Fatalf("step %d %s: replay %d selections vs cold %d", step, name, len(gw), len(gc))
+				}
+				for j := range gw {
+					if gw[j] != gc[j] {
+						t.Errorf("step %d %s: replay selection %d = %+v vs cold %+v", step, name, j, gw[j], gc[j])
+					}
+				}
+				if rw.ScoreEvals > rc.ScoreEvals {
+					t.Errorf("step %d %s: replay evaluated more (%d) than cold (%d)", step, name, rw.ScoreEvals, rc.ScoreEvals)
+				}
+			} else {
+				fellBack++
+				sameResult(t, name+" fallback", rw, rc)
+			}
+			prevByName[name] = append([]core.Assignment(nil), rc.Schedule.Assignments()...)
+		}
+	}
+	cold2, err := score.New(inst, core.ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold2.Close()
+	// An unchanged instance always verifies: every bound in an untouched
+	// interval is exact, so the original argmax picks reproduce themselves.
+	rc, _, err := Resolve(context.Background(), "ALG", 0, cold2, 4, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, info, err := Resolve(context.Background(), "ALG", 0, en, 4, rc.Schedule.Assignments(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Replayed {
+		t.Error("replay of an unchanged instance fell back")
+	}
+	if rr.Utility != rc.Utility {
+		t.Errorf("unchanged replay utility %v vs %v", rr.Utility, rc.Utility)
+	}
+	if replayed == 0 {
+		t.Log("note: no mutation step verified as a replay (all fell back)")
+	}
+	t.Logf("replayed %d, fell back %d across the chain", replayed, fellBack)
+	en.Close()
+}
+
+// Non-greedy schedulers must ignore the replay flag and run exactly.
+func TestResolveReplayFallbackSchedulers(t *testing.T) {
+	inst := randomInstance(63, 10, 4, 3, 80, 4)
+	en, err := score.New(inst, core.ScorerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	prev := []core.Assignment{{Event: 0, Interval: 0}}
+	for _, name := range []string{"HOR", "HOR-I", "TOP", "RAND"} {
+		rr, info, err := Resolve(context.Background(), name, 3, en, 4, prev, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Replayed {
+			t.Errorf("%s claimed a verified replay", name)
+		}
+		sched, err := NewWithEngine(name, 3, en)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := sched.Schedule(inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, name, rr, rc)
+	}
+	if _, _, err := Resolve(context.Background(), "ALG", 0, en, 0, nil, false); err != ErrBadK {
+		t.Errorf("k=0 returned %v, want ErrBadK", err)
+	}
+	if _, _, err := Resolve(context.Background(), "nope", 0, en, 3, nil, false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}

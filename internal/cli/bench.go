@@ -21,7 +21,7 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "", "figure to regenerate: 5|6|7|8|9|10a|10b|competing|resources|variants|summary|stacking|all")
+		fig      = fs.String("fig", "", "figure to regenerate: 5|6|7|8|9|10a|10b|competing|resources|variants|sparse|resolve|summary|stacking|all")
 		scale    = fs.String("scale", "small", "workload scale: tiny|small|medium|paper")
 		datasets = fs.String("datasets", "", "comma-separated dataset filter (Meetup,Concerts,Unf,Zip)")
 		algos    = fs.String("algos", "", "comma-separated algorithm filter (ALG,INC,HOR,HOR-I,TOP,RAND)")
@@ -142,7 +142,7 @@ func figureMetrics(id string) []string {
 		return []string{"utility", "computations", "time"}
 	case "6", "7", "9", "competing", "resources", "variants":
 		return []string{"utility", "time"}
-	case "8", "8a", "8b", "10a", "sparse":
+	case "8", "8a", "8b", "10a", "sparse", "resolve":
 		return []string{"time"}
 	case "10b":
 		return []string{"examined"}

@@ -331,11 +331,12 @@ func Figures() map[string]func(Options) ([]Row, error) {
 		"resources": FigResources,
 		"variants":  FigVariants,
 		"sparse":    FigSparse,
+		"resolve":   FigResolve,
 	}
 }
 
 // FigureIDs lists the runnable figures in paper order; the last three are
 // the experiments the paper ran but omitted from the plots (Section 4.1).
 func FigureIDs() []string {
-	return []string{"5", "6", "7", "8", "9", "10a", "10b", "competing", "resources", "variants", "sparse"}
+	return []string{"5", "6", "7", "8", "9", "10a", "10b", "competing", "resources", "variants", "sparse", "resolve"}
 }

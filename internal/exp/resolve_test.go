@@ -1,0 +1,67 @@
+package exp
+
+import "testing"
+
+// TestFigResolveWarmColdEquivalence: the warm (delta-rebuilt engine) and
+// cold series of the resolve figure must report identical deterministic
+// columns at every chain step — the contract the checked-in
+// BENCH_resolve_tiny.json baseline gates in CI, for sequential and parallel
+// engines alike.
+func TestFigResolveWarmColdEquivalence(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		rows, err := FigResolve(Options{Scale: Tiny, Seed: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type key struct {
+			algo string
+			x    int
+		}
+		warm := make(map[key]Row)
+		cold := make(map[key]Row)
+		for _, r := range rows {
+			switch r.Dataset {
+			case "warm":
+				warm[key{r.Algorithm, r.X}] = r
+			case "cold":
+				cold[key{r.Algorithm, r.X}] = r
+			default:
+				t.Fatalf("unexpected series label %q", r.Dataset)
+			}
+		}
+		if len(warm) == 0 || len(warm) != len(cold) {
+			t.Fatalf("workers=%d: unbalanced series: %d warm vs %d cold rows", workers, len(warm), len(cold))
+		}
+		for k, w := range warm {
+			c, ok := cold[k]
+			if !ok {
+				t.Errorf("workers=%d: no cold row for %+v", workers, k)
+				continue
+			}
+			if k.algo == "BUILD" {
+				continue // wall time only; nothing deterministic to compare
+			}
+			if w.Utility != c.Utility || w.ScoreEvals != c.ScoreEvals || w.Examined != c.Examined {
+				t.Errorf("workers=%d %+v: warm (Ω=%v evals=%d exam=%d) vs cold (Ω=%v evals=%d exam=%d)",
+					workers, k, w.Utility, w.ScoreEvals, w.Examined, c.Utility, c.ScoreEvals, c.Examined)
+			}
+		}
+	}
+}
+
+// TestFigResolveSeriesFilter: -datasets warm must run only the warm side
+// while still advancing the mutation chain.
+func TestFigResolveSeriesFilter(t *testing.T) {
+	rows, err := FigResolve(Options{Scale: Tiny, Seed: 1, Datasets: []string{"warm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("filter produced no rows")
+	}
+	for _, r := range rows {
+		if r.Dataset != "warm" {
+			t.Fatalf("filter leaked series %q", r.Dataset)
+		}
+	}
+}

@@ -33,6 +33,7 @@ package score
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/metrics/span"
 )
+
+// errNoPrevious rejects a warm build with no engine to inherit from.
+var errNoPrevious = errors.New("score: warm engine build without a previous engine")
 
 const (
 	// chunkUsers is the fixed user-shard width. Fixed — not derived from
@@ -69,6 +73,12 @@ const (
 	// count (GOMAXPROCS is the sensible ceiling — see DefaultWorkers);
 	// the cap only guards against absurd requests.
 	maxWorkers = 256
+
+	// gridMaxCells bounds the empty-schedule grid cache: |E|·|T| beyond it
+	// (32 MB of float64) disables caching rather than ballooning every
+	// engine. Paper-scale grids are ≤ 4.5M cells; sesd instances are far
+	// smaller (the user dimension is the big one, and it is not cached).
+	gridMaxCells = 1 << 22
 )
 
 // DefaultWorkers is the recommended worker count for a dedicated machine:
@@ -99,9 +109,25 @@ type Engine struct {
 
 	closeOnce sync.Once
 
-	evals   atomic.Int64
-	batches atomic.Int64
-	fanouts atomic.Int64
+	// The empty-schedule grid cache: grid[e·|T|+t] holds the Eq. 4 score of
+	// α_e^t against the EMPTY schedule once gridOK marks it. Every
+	// scheduler's dominant batch is its initial frontier scored against an
+	// empty schedule (ALG/TOP's full grid, INC's init, HOR/HOR-I's first
+	// layer), and that score is a pure function of the instance snapshot
+	// and options — so entries computed by one run serve every later run on
+	// the same engine, and NewFromPrevious carries the clean entries across
+	// a mutation. Cached values are the exact bits scoreShards produced, so
+	// serving them changes no reported number; schedulers account their
+	// requested evaluations themselves, so their ScoreEvals stay identical
+	// whether the engine computed or remembered.
+	gridMu sync.Mutex
+	grid   []float64
+	gridOK []bool
+
+	evals    atomic.Int64
+	batches  atomic.Int64
+	fanouts  atomic.Int64
+	gridHits atomic.Int64
 }
 
 // Sink is an optional set of shared telemetry instruments an engine reports
@@ -118,6 +144,9 @@ type Sink struct {
 	Evals   *metrics.Counter
 	Batches *metrics.Counter
 	Fanouts *metrics.Counter
+	// GridHits counts evaluations served from the empty-schedule grid
+	// cache instead of being recomputed (warm re-solve's saved work).
+	GridHits *metrics.Counter
 	// BatchCandidates observes the candidate-frontier width of each batch
 	// (the per-batch shard fan-out the schedulers request); BatchSeconds
 	// observes each batch's wall time.
@@ -141,7 +170,12 @@ func New(inst *core.Instance, opts core.ScorerOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := opts.Workers
+	return newEngine(sc, inst, opts.Workers), nil
+}
+
+// newEngine wraps a built scorer with a worker set of the requested size.
+func newEngine(sc *core.Scorer, inst *core.Instance, workers int) *Engine {
+	w := workers
 	if w < 1 {
 		w = 1
 	}
@@ -155,6 +189,62 @@ func New(inst *core.Instance, opts core.ScorerOptions) (*Engine, error) {
 		en.tasks = make(chan func(), w)
 		for i := 0; i < w-1; i++ {
 			go en.work()
+		}
+	}
+	return en
+}
+
+// NewFromPrevious builds an engine for inst warm: the scorer reuses the
+// clean parts of prev's precompute (core.NewScorerFromDelta) and the
+// empty-schedule grid carries over minus the entries the delta dirtied — a
+// dirty event drops its row, a dirty interval (competing OR activity: both
+// change what an empty-schedule score reads) drops its column. The warm
+// engine is bit-identical to New(inst, opts) in every output: shared state
+// is immutable, rebuilt state runs the cold construction, and surviving
+// grid entries are exact because their operands (interest column, activity
+// column, competing sum, cost) are untouched by the mutation.
+//
+// prev must be the engine of the predecessor snapshot built with the same
+// options values; on any mismatch an error is returned and the caller
+// should fall back to New. prev stays usable (and must still be Closed by
+// its owner).
+func NewFromPrevious(prev *Engine, inst *core.Instance, opts core.ScorerOptions, d core.ScorerDelta) (*Engine, error) {
+	if prev == nil {
+		return nil, errNoPrevious
+	}
+	sc, err := core.NewScorerFromDelta(prev.sc, inst, opts, d)
+	if err != nil {
+		return nil, err
+	}
+	en := newEngine(sc, inst, opts.Workers)
+	if n := inst.NumEvents() * inst.NumIntervals(); n > 0 && n <= gridMaxCells {
+		prev.gridMu.Lock()
+		if len(prev.grid) == n {
+			grid := make([]float64, n)
+			ok := make([]bool, n)
+			copy(grid, prev.grid)
+			copy(ok, prev.gridOK)
+			prev.gridMu.Unlock()
+			nT := inst.NumIntervals()
+			for _, e := range d.Events {
+				for t := 0; t < nT; t++ {
+					ok[e*nT+t] = false
+				}
+			}
+			dropInterval := func(t int) {
+				for e := 0; e < inst.NumEvents(); e++ {
+					ok[e*nT+t] = false
+				}
+			}
+			for _, t := range d.CompIntervals {
+				dropInterval(t)
+			}
+			for _, t := range d.ActIntervals {
+				dropInterval(t)
+			}
+			en.grid, en.gridOK = grid, ok
+		} else {
+			prev.gridMu.Unlock()
 		}
 	}
 	return en, nil
@@ -316,6 +406,80 @@ func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Cand
 			sk.BatchCandidates.Observe(float64(len(cands)))
 		}
 	}()
+	var err error
+	if s.Len() == 0 && en.gridEnabled() {
+		err = en.scoreBatchGrid(ctx, s, cands, out)
+	} else {
+		err = en.scoreBatchCompute(ctx, s, cands, out)
+	}
+	if err != nil {
+		return err
+	}
+	en.batches.Add(1)
+	if sk := en.sink; sk != nil {
+		sk.Batches.Inc()
+	}
+	return nil
+}
+
+// gridEnabled reports whether this engine caches empty-schedule scores.
+func (en *Engine) gridEnabled() bool {
+	n := en.inst.NumEvents() * en.inst.NumIntervals()
+	return n > 0 && n <= gridMaxCells
+}
+
+// scoreBatchGrid serves an empty-schedule frontier from the grid cache,
+// computing (and remembering) only the entries not yet known. Values are the
+// exact bits scoreBatchCompute would produce: a cached entry IS a previous
+// scoreShards result over operands that have not changed since.
+func (en *Engine) scoreBatchGrid(ctx context.Context, s *core.Schedule, cands []Candidate, out []float64) error {
+	nT := en.inst.NumIntervals()
+	en.gridMu.Lock()
+	if en.grid == nil {
+		en.grid = make([]float64, en.inst.NumEvents()*nT)
+		en.gridOK = make([]bool, len(en.grid))
+	}
+	var miss []int
+	for i, cd := range cands {
+		cell := cd.Event*nT + cd.Interval
+		if en.gridOK[cell] {
+			out[i] = en.grid[cell]
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	en.gridMu.Unlock()
+	if hits := len(cands) - len(miss); hits > 0 {
+		en.gridHits.Add(int64(hits))
+		if sk := en.sink; sk != nil {
+			sk.GridHits.Add(int64(hits))
+		}
+	}
+	if len(miss) == 0 {
+		return ctx.Err()
+	}
+	mc := make([]Candidate, len(miss))
+	mo := make([]float64, len(miss))
+	for j, i := range miss {
+		mc[j] = cands[i]
+	}
+	if err := en.scoreBatchCompute(ctx, s, mc, mo); err != nil {
+		return err
+	}
+	en.gridMu.Lock()
+	for j, i := range miss {
+		cell := cands[i].Event*nT + cands[i].Interval
+		en.grid[cell] = mo[j]
+		en.gridOK[cell] = true
+		out[i] = mo[j]
+	}
+	en.gridMu.Unlock()
+	return nil
+}
+
+// scoreBatchCompute is the computing path: every candidate is evaluated by
+// scoreShards, sequentially or fanned out across the worker set.
+func (en *Engine) scoreBatchCompute(ctx context.Context, s *core.Schedule, cands []Candidate, out []float64) error {
 	nU := en.inst.NumUsers()
 	if en.workers <= 1 || len(cands) < 2 || len(cands)*nU < batchParallelWork {
 		for i, cd := range cands {
@@ -360,10 +524,8 @@ func (en *Engine) ScoreBatch(ctx context.Context, s *core.Schedule, cands []Cand
 		return err
 	}
 	en.evals.Add(int64(len(cands)))
-	en.batches.Add(1)
 	if sk := en.sink; sk != nil {
 		sk.Evals.Add(int64(len(cands)))
-		sk.Batches.Inc()
 	}
 	return nil
 }
@@ -378,14 +540,20 @@ type Stats struct {
 	Evals   int64 `json:"evals"`
 	Batches int64 `json:"batches"`
 	Fanouts int64 `json:"fanouts"`
+	// GridHits counts evaluations served from the empty-schedule grid
+	// cache: work a warm engine (or a later run on a shared one) skipped.
+	// Evals counts only computed passes, so a scheduler's reported
+	// ScoreEvals for one run equals the engine-side evals+gridHits delta.
+	GridHits int64 `json:"grid_hits,omitempty"`
 }
 
 // Stat samples the engine counters.
 func (en *Engine) Stat() Stats {
 	return Stats{
-		Workers: en.workers,
-		Evals:   en.evals.Load(),
-		Batches: en.batches.Load(),
-		Fanouts: en.fanouts.Load(),
+		Workers:  en.workers,
+		Evals:    en.evals.Load(),
+		Batches:  en.batches.Load(),
+		Fanouts:  en.fanouts.Load(),
+		GridHits: en.gridHits.Load(),
 	}
 }

@@ -129,6 +129,107 @@ func (m MutateRequest) Empty() bool {
 		len(m.Activity) == 0 && len(m.AddCompeting) == 0
 }
 
+// BatchMutateRequest is the body of POST /instances/{name}/mutations: a list
+// of deltas applied atomically as ONE version bump (and one WAL record) —
+// the streaming producer's unit of ingestion. The batch is flattened with
+// Merge before application, so the whole list either applies or none of it
+// does.
+type BatchMutateRequest struct {
+	Mutations []MutateRequest `json:"mutations"`
+}
+
+// Empty reports whether no request in the batch carries any mutation.
+func (b BatchMutateRequest) Empty() bool {
+	for _, m := range b.Mutations {
+		if !m.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge flattens the batch into one equivalent MutateRequest by
+// concatenating each list in batch order. Cell updates apply in list order,
+// so when two requests touch the same cell the later one wins — exactly the
+// outcome of applying them sequentially. The one semantic restriction:
+// competing-interest indexes resolve against the instance as of the START of
+// the batch, so a batch cannot AddCompeting an event and then address it by
+// index in the same batch (its NewCompeting.Interest column already carries
+// the full per-user data, making such a reference redundant; the server
+// rejects it with a range error rather than guessing).
+func (b BatchMutateRequest) Merge() MutateRequest {
+	var out MutateRequest
+	for _, m := range b.Mutations {
+		out.Interest = append(out.Interest, m.Interest...)
+		out.CompetingInterest = append(out.CompetingInterest, m.CompetingInterest...)
+		out.Activity = append(out.Activity, m.Activity...)
+		out.AddCompeting = append(out.AddCompeting, m.AddCompeting...)
+	}
+	return out
+}
+
+// BatchMutateResponse echoes the applied batch: the post-batch instance info
+// and how many non-empty mutations the version bump absorbed.
+type BatchMutateResponse struct {
+	Instance InstanceInfo `json:"instance"`
+	Applied  int          `json:"applied"`
+}
+
+// ResolveEvent is one Server-Sent Event of GET /instances/{name}/subscribe:
+// pushed after each mutation once the instance's schedule has been re-solved
+// at the new version. Added/Removed/Moved express the schedule delta against
+// the previously pushed schedule, so thin clients can patch a display
+// without diffing; the full schedule rides along for clients that would
+// rather replace than patch.
+type ResolveEvent struct {
+	Instance  InstanceInfo `json:"instance"`
+	Algorithm string       `json:"algorithm"`
+	K         int          `json:"k"`
+	Schedule  ScheduleMsg  `json:"schedule"`
+	// Added lists events scheduled now but not in the previous push;
+	// Removed lists events dropped since then; Moved lists events whose
+	// interval changed (carrying the NEW assignment). An event whose
+	// assignment is unchanged but whose expected attendance shifted (the
+	// mutation changed the numbers under the same schedule) appears nowhere
+	// — the full Schedule is the source of truth for evaluations.
+	Added   []AssignmentMsg `json:"added,omitempty"`
+	Removed []AssignmentMsg `json:"removed,omitempty"`
+	Moved   []AssignmentMsg `json:"moved,omitempty"`
+	// Warm reports that the re-solve was served by the delta-aware warm
+	// path (engine reuse); false means a cold rebuild was needed.
+	Warm bool `json:"warm,omitempty"`
+	// ElapsedMS is the re-solve wall time (scheduling only, not queue wait).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// DiffSchedules computes the Added/Removed/Moved lists of a ResolveEvent
+// from the previously pushed schedule to the new one. Assignments are keyed
+// by event: an event present only in next is added, only in prev removed,
+// and present in both with different intervals moved.
+func DiffSchedules(prev, next []AssignmentMsg) (added, removed, moved []AssignmentMsg) {
+	prevBy := make(map[int]AssignmentMsg, len(prev))
+	for _, a := range prev {
+		prevBy[a.Event] = a
+	}
+	seen := make(map[int]bool, len(next))
+	for _, a := range next {
+		seen[a.Event] = true
+		p, ok := prevBy[a.Event]
+		switch {
+		case !ok:
+			added = append(added, a)
+		case p.Interval != a.Interval:
+			moved = append(moved, a)
+		}
+	}
+	for _, a := range prev {
+		if !seen[a.Event] {
+			removed = append(removed, a)
+		}
+	}
+	return added, removed, moved
+}
+
 // SimulateRequest is the body of POST /instances/{name}/simulate: Monte-Carlo
 // validation of a schedule's expected attendance (internal/sim).
 type SimulateRequest struct {

@@ -110,3 +110,61 @@ func TestWriteScheduleStable(t *testing.T) {
 		t.Errorf("schedule serialization not stable:\n%s\nvs\n%s", a.String(), b.String())
 	}
 }
+
+// TestBatchMutateMerge pins the batch flattening contract: lists concatenate
+// in batch order (later writes to the same cell win) and emptiness ignores
+// all-empty members.
+func TestBatchMutateMerge(t *testing.T) {
+	b := BatchMutateRequest{Mutations: []MutateRequest{
+		{Interest: []CellUpdate{{User: 1, Index: 2, Value: 0.3}}},
+		{}, // empty member contributes nothing
+		{
+			Interest: []CellUpdate{{User: 1, Index: 2, Value: 0.9}},
+			Activity: []CellUpdate{{User: 0, Index: 1, Value: 0.5}},
+		},
+		{AddCompeting: []NewCompeting{{Interval: 0, Interest: []float32{1}}}},
+	}}
+	m := b.Merge()
+	if len(m.Interest) != 2 || len(m.Activity) != 1 || len(m.AddCompeting) != 1 {
+		t.Fatalf("merged shape: %+v", m)
+	}
+	// Concatenation order IS the apply order: the 0.9 write lands after 0.3.
+	if m.Interest[0].Value != 0.3 || m.Interest[1].Value != 0.9 {
+		t.Fatalf("merge reordered writes: %+v", m.Interest)
+	}
+	if b.Empty() {
+		t.Error("non-empty batch reported Empty")
+	}
+	if !(BatchMutateRequest{}).Empty() || !(BatchMutateRequest{Mutations: []MutateRequest{{}, {}}}).Empty() {
+		t.Error("empty batch not reported Empty")
+	}
+}
+
+// TestDiffSchedules pins the added/removed/moved classification of the
+// subscribe stream's schedule delta.
+func TestDiffSchedules(t *testing.T) {
+	prev := []AssignmentMsg{
+		{Event: 0, Interval: 1, Expected: 3},
+		{Event: 1, Interval: 2, Expected: 4},
+		{Event: 2, Interval: 0, Expected: 5},
+	}
+	next := []AssignmentMsg{
+		{Event: 0, Interval: 1, Expected: 2.5}, // same slot, new evaluation: not a delta
+		{Event: 2, Interval: 3, Expected: 5},   // moved 0 -> 3
+		{Event: 7, Interval: 2, Expected: 1},   // added
+	}
+	added, removed, moved := DiffSchedules(prev, next)
+	if len(added) != 1 || added[0].Event != 7 {
+		t.Errorf("added = %+v, want event 7", added)
+	}
+	if len(removed) != 1 || removed[0].Event != 1 {
+		t.Errorf("removed = %+v, want event 1", removed)
+	}
+	if len(moved) != 1 || moved[0].Event != 2 || moved[0].Interval != 3 {
+		t.Errorf("moved = %+v, want event 2 at interval 3", moved)
+	}
+	a2, r2, m2 := DiffSchedules(nil, nil)
+	if a2 != nil || r2 != nil || m2 != nil {
+		t.Error("diff of empty schedules not empty")
+	}
+}

@@ -29,11 +29,11 @@ func TestEngineCacheShareEvictRelease(t *testing.T) {
 	defer ec.close()
 
 	k1 := engineKey{name: "a", version: 1}
-	e1, rel1, err := ec.acquire(k1, inst, core.ScorerOptions{})
+	e1, rel1, _, err := ec.acquire(k1, inst, core.ScorerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1b, rel1b, err := ec.acquire(k1, inst, core.ScorerOptions{})
+	e1b, rel1b, _, err := ec.acquire(k1, inst, core.ScorerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestEngineCacheShareEvictRelease(t *testing.T) {
 	// Fill past capacity: k1 (still referenced) must survive functionally
 	// even if evicted — its engine keeps working until released.
 	for v := uint64(2); v <= 4; v++ {
-		_, rel, err := ec.acquire(engineKey{name: "a", version: v}, inst, core.ScorerOptions{})
+		_, rel, _, err := ec.acquire(engineKey{name: "a", version: v}, inst, core.ScorerOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func TestEngineCacheShareEvictRelease(t *testing.T) {
 	if n := ec.stats().Engines; n != 0 {
 		t.Fatalf("invalidate left %d engines", n)
 	}
-	_, rel, err := ec.acquire(k1, inst, core.ScorerOptions{})
+	_, rel, _, err := ec.acquire(k1, inst, core.ScorerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestEngineCacheCloseStragglers(t *testing.T) {
 	inst := engineTestInstance(t)
 	ec := newEngineCache(0, 4)
 	ec.close()
-	en, rel, err := ec.acquire(engineKey{name: "x", version: 1}, inst, core.ScorerOptions{})
+	en, rel, _, err := ec.acquire(engineKey{name: "x", version: 1}, inst, core.ScorerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

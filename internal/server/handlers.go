@@ -137,8 +137,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, storeErrCode(err), err)
 		return
 	}
-	s.cache.InvalidateInstance(name)
-	s.engines.invalidate(name)
+	s.afterMutation(name, info, req)
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -240,7 +239,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// dense precompute and (with ScoreWorkers) the scoring worker set
 		// are paid once per version, not per request.
 		acq := tr.Start("engine_acquire")
-		en, releaseEngine, err := s.engines.acquire(
+		en, releaseEngine, _, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: key.opts}, inst, opts)
 		acq.End()
 		if err != nil {
@@ -344,7 +343,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	)
 	if !s.runPooled(w, r, func() {
 		acq := tr.Start("engine_acquire")
-		en, releaseEngine, err := s.engines.acquire(
+		en, releaseEngine, _, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: optsFingerprint(req.UserWeights, req.EventCosts)},
 			inst, opts)
 		acq.End()

@@ -657,7 +657,7 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 	}
 	// Every cell of the sweep runs against the job's pinned version, so all
 	// of them (and any concurrent solves of that version) share one engine.
-	en, releaseEngine, err := s.engines.acquire(
+	en, releaseEngine, _, err := s.engines.acquire(
 		engineKey{name: j.name, version: j.info.Version, opts: j.optsFP}, j.inst, j.opts)
 	if err != nil {
 		j.finishCell(c, seio.CellFailed, seio.SolveResponse{}, err)

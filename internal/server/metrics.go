@@ -98,6 +98,9 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("sesd_result_cache_invalidations_total",
 		"Result-cache entries dropped by instance replacement, mutation or delete.",
 		func() float64 { return float64(s.cache.invalidations.Load()) })
+	r.CounterFunc("sesd_result_cache_stale_drops_total",
+		"Result-cache inserts refused because their instance version was no longer live.",
+		func() float64 { return float64(s.cache.staleDrops.Load()) })
 
 	// Engine cache.
 	r.GaugeFunc("sesd_engine_cache_engines",
@@ -109,6 +112,12 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("sesd_engine_cache_misses_total",
 		"Engine-cache misses (an engine was built).",
 		func() float64 { return float64(s.engines.misses.Load()) })
+	r.CounterFunc("sesd_engine_cache_warm_builds_total",
+		"Engine-cache misses answered by a delta rebuild of the previous version's engine.",
+		func() float64 { return float64(s.engines.warmBuilds.Load()) })
+	r.CounterFunc("sesd_engine_cache_stale_drops_total",
+		"Engine-cache inserts refused because their instance version was no longer live.",
+		func() float64 { return float64(s.engines.staleDrops.Load()) })
 
 	// Score engine (fed by the shared sink wired into every cached engine).
 	s.scoreSink = &score.Sink{
@@ -122,8 +131,33 @@ func (s *Server) initMetrics() {
 			"Candidates per batched scoring call (the frontier width).", batchWidthBuckets),
 		BatchSeconds: r.Histogram("sesd_score_batch_duration_seconds",
 			"Wall time of one batched frontier-scoring call.", metrics.DurationBuckets),
+		GridHits: r.Counter("sesd_score_grid_hits_total",
+			"Batched candidate scores served from the empty-schedule grid instead of recomputed."),
 	}
 	s.engines.sink = s.scoreSink
+
+	// Incremental re-solve (the subscribe path) and batch mutations.
+	r.CounterFunc("sesd_mutation_batches_total",
+		"Batch mutation requests applied (each is one version bump and one WAL record).",
+		func() float64 { return float64(s.mutationBatches.Load()) })
+	r.GaugeFunc("sesd_subscribers",
+		"Active schedule subscriptions (open SSE streams).",
+		func() float64 { return float64(s.subs.count()) })
+	r.CounterFunc("sesd_resolve_solves_total",
+		"Re-solves executed by the subscribe path (result-cache hits add none).",
+		func() float64 { return float64(s.resolveSolves.Load()) })
+	r.CounterFunc("sesd_resolve_warm_total",
+		"Subscribe-path re-solves that reused prior state (engine hit or warm delta rebuild).",
+		func() float64 { return float64(s.resolveWarm.Load()) })
+	r.CounterFunc("sesd_resolve_fallback_total",
+		"Subscribe-path re-solves that needed a cold engine build.",
+		func() float64 { return float64(s.resolveFallback.Load()) })
+	s.resolveDuration = r.Histogram("sesd_resolve_duration_seconds",
+		"Steady-state re-solve latency on the subscribe path (queue wait included).",
+		metrics.DurationBuckets)
+	r.CounterFunc("sesd_resolve_pushes_total",
+		"Schedule events pushed to subscribers.",
+		func() float64 { return float64(s.resolvePushes.Load()) })
 
 	// Async jobs.
 	r.GaugeFunc("sesd_jobs_retained",
@@ -250,6 +284,14 @@ func (w *statusWriter) WriteHeader(code int) {
 		w.code = code
 	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (SSE
+// subscribe) keep working behind the instrumentation middleware.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {

@@ -74,11 +74,16 @@ func NewPool(workers, queue int) *Pool {
 func (p *Pool) work() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		p.queueWait.ObserveSince(j.enqueued)
 		if j.ctx.Err() != nil {
+			// The request died while queued: skip without observing queue
+			// wait. A context-dead job's wait is however long its client was
+			// willing to linger, not a backpressure signal — counting it
+			// (the old behavior) skewed the histogram exactly when clients
+			// were timing out, i.e. when the signal mattered most.
 			p.skipped.Add(1)
 			continue
 		}
+		p.queueWait.ObserveSince(j.enqueued)
 		p.active.Add(1)
 		p.runJob(j)
 		p.active.Add(-1)

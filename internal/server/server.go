@@ -106,7 +106,7 @@ var routes = []string{
 	"healthz", "stats", "metrics", "list_instances", "put_instance",
 	"get_instance", "delete_instance", "mutate_instance", "solve", "extend",
 	"simulate", "summarize", "submit_job", "get_job", "list_jobs",
-	"cancel_job",
+	"cancel_job", "mutate_batch", "subscribe",
 }
 
 // Server is the sesd HTTP service: store + pool + cache + async jobs behind
@@ -118,6 +118,7 @@ type Server struct {
 	cache   *Cache
 	jobs    *Jobs
 	engines *engineCache
+	subs    *subHub
 	mux     *http.ServeMux
 
 	started time.Time
@@ -141,6 +142,16 @@ type Server struct {
 	// lifecycle test observes "no new scorer work".
 	scoreEvals atomic.Int64
 	examined   atomic.Int64
+
+	// Incremental re-solve counters (the subscribe path and the batch
+	// mutation endpoint); resolveDuration is the steady-state re-solve
+	// latency histogram the resolve figure reads back.
+	resolveSolves   atomic.Int64
+	resolveWarm     atomic.Int64
+	resolveFallback atomic.Int64
+	resolvePushes   atomic.Int64
+	mutationBatches atomic.Int64
+	resolveDuration *metrics.Histogram
 
 	// Durability (nil / zero when running memory-only). Replay completes
 	// inside New, before the Server is ever handed to a listener, so no
@@ -172,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   NewCache(cfg.CacheSize),
 		jobs:    NewJobs(cfg.JobTTL),
 		engines: newEngineCache(cfg.ScoreWorkers, cfg.ScoreEngines),
+		subs:    newSubHub(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
@@ -181,6 +193,15 @@ func New(cfg Config) (*Server, error) {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.ridPrefix = fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
+	// Staleness oracles: both caches refuse inserts for versions that are no
+	// longer the store's live version, closing the PATCH-races-solve window
+	// where a dead version's entry could re-enter after its invalidation.
+	// Wired before persistence so replayed solve records get the same guard
+	// (replay applies records in log order, so a record's version IS live
+	// when it replays — unless a later record supersedes it, which is
+	// exactly when it should be dropped).
+	s.cache.SetCurrent(s.store.currentVersion)
+	s.engines.setCurrent(s.store.currentVersion)
 	// Metrics exist before persistence opens: the WAL takes its histograms at
 	// Open time, and recovery itself is something we want measured.
 	s.initMetrics()
@@ -207,6 +228,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("POST /instances/{name}/extend", s.instrument("extend", s.handleExtend))
 	s.mux.Handle("POST /instances/{name}/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /instances/{name}/summarize", s.instrument("summarize", s.handleSummarize))
+	s.mux.Handle("POST /instances/{name}/mutations", s.instrument("mutate_batch", s.handleMutateBatch))
+	s.mux.Handle("GET /instances/{name}/subscribe", s.instrument("subscribe", s.handleSubscribe))
 	s.mux.Handle("POST /instances/{name}/jobs", s.instrument("submit_job", s.handleSubmitJob))
 	s.mux.Handle("GET /jobs", s.instrument("list_jobs", s.handleListJobs))
 	s.mux.Handle("GET /jobs/{id}", s.instrument("get_job", s.handleGetJob))

@@ -426,6 +426,22 @@ func (st *Store) restoreVersions(m map[string]uint64) {
 	}
 }
 
+// currentVersion returns the currently PUBLISHED version of the name, false
+// when the name is not live (never stored, or deleted). It is the staleness
+// oracle for the result and engine caches: an insert whose version does not
+// match the live version was computed against superseded content and must be
+// dropped, because the invalidation that should have covered it may already
+// have run.
+func (st *Store) currentVersion(name string) (uint64, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.m[name]
+	if !ok {
+		return 0, false
+	}
+	return v.info.Version, true
+}
+
 // lastVersion returns the name's version sequence (0 = never stored).
 func (st *Store) lastVersion(name string) uint64 {
 	st.mu.RLock()

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// subscriber is one open GET /instances/{name}/subscribe stream. dirty has
+// capacity 1 and is written with a non-blocking send, so a burst of PATCHes
+// between two re-solves coalesces into one wake-up: the subscriber always
+// re-solves the LATEST version, never a backlog of intermediate ones.
+type subscriber struct {
+	name  string
+	dirty chan struct{}
+}
+
+// subHub fans mutation notifications out to an instance's subscribers. It is
+// deliberately dumb — no versions, no payloads — because the SSE handler
+// re-reads the store on every wake-up and computes its own delta; the hub
+// only answers "did anything change since you last looked?".
+type subHub struct {
+	mu sync.Mutex
+	m  map[string]map[*subscriber]struct{}
+	n  atomic.Int64 // live subscriber count (sesd_subscribers gauge)
+}
+
+func newSubHub() *subHub {
+	return &subHub{m: make(map[string]map[*subscriber]struct{})}
+}
+
+// add registers a stream for name and returns the subscriber plus its
+// removal func (idempotent; call on stream close).
+func (h *subHub) add(name string) (*subscriber, func()) {
+	sub := &subscriber{name: name, dirty: make(chan struct{}, 1)}
+	h.mu.Lock()
+	set := h.m[name]
+	if set == nil {
+		set = make(map[*subscriber]struct{})
+		h.m[name] = set
+	}
+	set[sub] = struct{}{}
+	h.mu.Unlock()
+	h.n.Add(1)
+	var once sync.Once
+	return sub, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if set := h.m[name]; set != nil {
+				delete(set, sub)
+				if len(set) == 0 {
+					delete(h.m, name)
+				}
+			}
+			h.mu.Unlock()
+			h.n.Add(-1)
+		})
+	}
+}
+
+// notify marks name dirty for every subscriber. Non-blocking: a subscriber
+// mid-re-solve keeps its single pending wake-up and picks up the newest
+// version when it comes back around.
+func (h *subHub) notify(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.m[name] {
+		select {
+		case sub.dirty <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// count reports live subscribers (metrics gauge).
+func (h *subHub) count() int64 { return h.n.Load() }
