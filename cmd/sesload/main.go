@@ -1,0 +1,27 @@
+// Command sesload drives a running sesd with an open-loop request stream and
+// measures what the service actually delivers: requests arrive at a fixed
+// offered rate regardless of completions, so server queueing shows up as
+// client-side latency instead of silently throttling the benchmark.
+//
+// Every request carries a W3C traceparent header minted by sesload, which the
+// server adopts as the trace ID of its own span tree. The report therefore
+// ends by resolving the slowest observed request against GET
+// /debug/traces/{id} — one command from "p99 looks bad" to "the time went to
+// the solver queue".
+//
+// Example:
+//
+//	sesd -addr :8080 &
+//	sesload -addr http://localhost:8080 -rate 100 -duration 30s \
+//	        -mix solve=8,extend=1,patch=1,batch=1 -k 10 -users 2000
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sesload(os.Args[1:], os.Stdout, os.Stderr))
+}

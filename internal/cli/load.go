@@ -1,0 +1,379 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics/span"
+	"repro/internal/seio"
+)
+
+// loadKinds is the request vocabulary of the traffic mix, in report order.
+var loadKinds = []string{"solve", "extend", "patch", "batch"}
+
+// parseMix parses a "solve=8,extend=1,patch=1,batch=1" weight list. Kinds
+// absent from the list get weight 0; at least one weight must be positive.
+func parseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int, len(loadKinds))
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		known := false
+		for _, k := range loadKinds {
+			if k == kind {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown mix kind %q (want one of %s)", kind, strings.Join(loadKinds, "/"))
+		}
+		mix[kind] += w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	return mix, nil
+}
+
+// pickKind draws one kind from the weighted mix.
+func pickKind(rng *rand.Rand, mix map[string]int, total int) string {
+	n := rng.IntN(total)
+	for _, k := range loadKinds {
+		if n -= mix[k]; n < 0 {
+			return k
+		}
+	}
+	return loadKinds[0] // unreachable: weights sum to total
+}
+
+// loadResult is one completed request as seen by the client.
+type loadResult struct {
+	kind    string
+	status  int // 0 = transport error
+	dur     time.Duration
+	cached  bool
+	traceID string // the traceparent trace ID sesload injected
+}
+
+// loadStats aggregates one kind's results.
+type loadStats struct {
+	n, ok, backpressure, errs, cached int
+	durs                              []time.Duration // 2xx only
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Sesload is an open-loop measured-throughput driver for a running sesd: it
+// offers requests at a fixed arrival rate regardless of completions (so
+// queueing delay shows up as client latency, not a lower request count),
+// injects a W3C traceparent into every request, and reports client-side
+// percentiles plus the server-side span tree of the slowest request.
+func Sesload(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sesload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "http://localhost:8080", "sesd base URL")
+		instance  = fs.String("instance", "sesload", "server-side instance name")
+		rate      = fs.Float64("rate", 50, "offered arrival rate, requests/second")
+		duration  = fs.Duration("duration", 10*time.Second, "how long to offer load")
+		mixFlag   = fs.String("mix", "solve=8,extend=1,patch=1,batch=1", "weighted request mix (kinds: solve/extend/patch/batch)")
+		algorithm = fs.String("algorithm", "HOR-I", "solve algorithm")
+		k         = fs.Int("k", 5, "schedule size for solves")
+		users     = fs.Int("users", 500, "users in the generated instance")
+		seed      = fs.Uint64("seed", 1, "seed for the instance and the request stream")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		setup     = fs.Bool("setup", true, "generate and upload the instance before driving load")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return fail(stderr, "sesload", err)
+	}
+	if *rate <= 0 {
+		return fail(stderr, "sesload", fmt.Errorf("rate must be positive, got %v", *rate))
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*addr, "/")
+
+	var info seio.InstanceInfo
+	if *setup {
+		inst, err := dataset.ByName("Unf", dataset.Params{K: *k, NumUsers: *users, Seed: *seed})
+		if err != nil {
+			return fail(stderr, "sesload", err)
+		}
+		var buf bytes.Buffer
+		if err := seio.WriteInstance(&buf, inst); err != nil {
+			return fail(stderr, "sesload", err)
+		}
+		req, err := http.NewRequest(http.MethodPut, base+"/instances/"+*instance, &buf)
+		if err != nil {
+			return fail(stderr, "sesload", err)
+		}
+		if err := doJSON(client, req, &info); err != nil {
+			return fail(stderr, "sesload", fmt.Errorf("upload instance: %w", err))
+		}
+		fmt.Fprintf(stdout, "uploaded %s v%d (|E|=%d |T|=%d |U|=%d)\n",
+			info.Name, info.Version, info.Events, info.Intervals, info.Users)
+	} else {
+		req, err := http.NewRequest(http.MethodGet, base+"/instances", nil)
+		if err != nil {
+			return fail(stderr, "sesload", err)
+		}
+		var listing struct {
+			Instances []seio.InstanceInfo `json:"instances"`
+		}
+		if err := doJSON(client, req, &listing); err != nil {
+			return fail(stderr, "sesload", fmt.Errorf("list instances: %w", err))
+		}
+		for _, in := range listing.Instances {
+			if in.Name == *instance {
+				info = in
+			}
+		}
+		if info.Name == "" {
+			return fail(stderr, "sesload", fmt.Errorf("instance %q not on the server (use -setup to upload one)", *instance))
+		}
+	}
+	if info.Events == 0 || info.Users == 0 || info.Intervals == 0 {
+		return fail(stderr, "sesload", fmt.Errorf("instance %s has no events, intervals or users to mutate", *instance))
+	}
+
+	mixTotal := 0
+	for _, w := range mix {
+		mixTotal += w
+	}
+	// One rng, used only on the arrival loop goroutine: request kinds and
+	// mutation cells are drawn (and bodies built) before each dispatch, so a
+	// fixed -seed offers an identical request stream run to run.
+	rng := rand.New(rand.NewPCG(*seed, 0x5e510ad))
+	var (
+		mu      sync.Mutex
+		results []loadResult
+		wg      sync.WaitGroup
+	)
+	dispatch := func(kind, method, url string, body []byte) {
+		header, traceID := span.MintTraceparent()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req, err := http.NewRequest(method, url, rd)
+			if err != nil {
+				return
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			req.Header.Set("traceparent", header)
+			res := loadResult{kind: kind, traceID: traceID}
+			start := time.Now()
+			resp, err := client.Do(req)
+			res.dur = time.Since(start)
+			if err == nil {
+				res.status = resp.StatusCode
+				if kind == "solve" && resp.StatusCode == http.StatusOK {
+					var sr seio.SolveResponse
+					if json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr) == nil {
+						res.cached = sr.Cached
+					}
+				} else {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
+				}
+				resp.Body.Close()
+			}
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}()
+	}
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // wire structs always marshal
+		}
+		return b
+	}
+	cell := func() seio.CellUpdate {
+		return seio.CellUpdate{
+			User:  rng.IntN(info.Users),
+			Index: rng.IntN(info.Events),
+			Value: rng.Float64(),
+		}
+	}
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	stop := time.After(*duration)
+	offered := 0
+	begin := time.Now()
+arrivals:
+	for {
+		select {
+		case <-stop:
+			break arrivals
+		case <-ticker.C:
+			offered++
+			switch kind := pickKind(rng, mix, mixTotal); kind {
+			case "solve":
+				// Vary the RAND seed so deterministic cache hits don't
+				// swallow the whole run; deterministic algorithms still
+				// cache-hit until a mutation moves the version, which is
+				// itself part of what the mix measures.
+				dispatch(kind, http.MethodPost, base+"/instances/"+*instance+"/solve",
+					marshal(seio.SolveRequest{Algorithm: *algorithm, K: *k, Seed: rng.Uint64()}))
+			case "extend":
+				dispatch(kind, http.MethodPost, base+"/instances/"+*instance+"/extend",
+					marshal(seio.ExtendRequest{Extra: *k}))
+			case "patch":
+				dispatch(kind, http.MethodPatch, base+"/instances/"+*instance,
+					marshal(seio.MutateRequest{Interest: []seio.CellUpdate{cell()}}))
+			case "batch":
+				dispatch(kind, http.MethodPost, base+"/instances/"+*instance+"/mutations",
+					marshal(seio.BatchMutateRequest{Mutations: []seio.MutateRequest{
+						{Interest: []seio.CellUpdate{cell(), cell()}},
+						{Activity: []seio.CellUpdate{{User: 0, Index: rng.IntN(info.Intervals), Value: rng.Float64()}}},
+					}}))
+			}
+		}
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	byKind := make(map[string]*loadStats, len(loadKinds))
+	for _, k := range loadKinds {
+		byKind[k] = &loadStats{}
+	}
+	var all []time.Duration
+	completed := 0
+	var slowest loadResult
+	for _, res := range results {
+		st := byKind[res.kind]
+		st.n++
+		switch {
+		case res.status >= 200 && res.status < 300:
+			st.ok++
+			st.durs = append(st.durs, res.dur)
+			all = append(all, res.dur)
+			completed++
+			if res.cached {
+				st.cached++
+			}
+			if res.dur > slowest.dur {
+				slowest = res
+			}
+		case res.status == http.StatusTooManyRequests:
+			st.backpressure++
+		default:
+			st.errs++
+		}
+	}
+	fmt.Fprintf(stdout, "sesload: offered %d requests in %.1fs (%.1f req/s offered, %.1f req/s completed)\n",
+		offered, elapsed.Seconds(), float64(offered)/elapsed.Seconds(), float64(completed)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "%-8s %6s %6s %6s %6s %8s %10s %10s %10s %10s\n",
+		"kind", "n", "ok", "429", "err", "cached", "p50", "p95", "p99", "max")
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	for _, kind := range append(append([]string{}, loadKinds...), "all") {
+		st := byKind[kind]
+		if kind == "all" {
+			st = &loadStats{n: len(results), ok: completed, durs: all}
+			for _, k := range loadKinds {
+				st.backpressure += byKind[k].backpressure
+				st.errs += byKind[k].errs
+				st.cached += byKind[k].cached
+			}
+		} else if st.n == 0 {
+			continue
+		}
+		sort.Slice(st.durs, func(a, b int) bool { return st.durs[a] < st.durs[b] })
+		var max time.Duration
+		if len(st.durs) > 0 {
+			max = st.durs[len(st.durs)-1]
+		}
+		fmt.Fprintf(stdout, "%-8s %6d %6d %6d %6d %8d %10s %10s %10s %10s\n",
+			kind, st.n, st.ok, st.backpressure, st.errs, st.cached,
+			percentile(st.durs, 0.50).Round(time.Microsecond),
+			percentile(st.durs, 0.95).Round(time.Microsecond),
+			percentile(st.durs, 0.99).Round(time.Microsecond),
+			max.Round(time.Microsecond))
+	}
+	if completed == 0 {
+		return fail(stderr, "sesload", fmt.Errorf("no request completed (%d offered)", offered))
+	}
+
+	// The slowest request's traceparent ties the client-side outlier to the
+	// server's span tree — the whole point of injecting traceparent.
+	fmt.Fprintf(stdout, "slowest: %s %s traceparent trace_id=%s\n",
+		slowest.kind, slowest.dur.Round(time.Microsecond), slowest.traceID)
+	var td span.TraceData
+	var fetchErr error
+	// Retry briefly: the server records a trace a hair after the response
+	// bytes reach the client, so the very last request can race the fetch.
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		req, err := http.NewRequest(http.MethodGet, base+"/debug/traces/"+slowest.traceID, nil)
+		if err != nil {
+			return fail(stderr, "sesload", err)
+		}
+		if fetchErr = doJSON(client, req, &td); fetchErr == nil {
+			break
+		}
+	}
+	if fetchErr != nil {
+		// Evicted from the ring (tiny -trace-store under heavy load) — the
+		// run's numbers above still stand.
+		fmt.Fprintf(stdout, "server trace %s not retained: %v\n", slowest.traceID, fetchErr)
+		return 0
+	}
+	fmt.Fprintf(stdout, "server trace %s: route=%s %.3fms", td.TraceID, td.Route, td.DurationMS)
+	for _, c := range td.Root.Children {
+		fmt.Fprintf(stdout, " %s=%.3fms", c.Name, c.DurationMS)
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}

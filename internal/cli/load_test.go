@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("solve=8, extend=1,patch=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["solve"] != 8 || mix["extend"] != 1 || mix["patch"] != 0 || mix["batch"] != 0 {
+		t.Fatalf("unexpected mix %v", mix)
+	}
+	for _, bad := range []string{"", "solve", "solve=x", "solve=-1", "fly=3", "solve=0,extend=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(durs, 0.50); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := percentile(durs, 0.99); got != 10 {
+		t.Errorf("p99 = %d, want 10", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+}
+
+// TestSesloadEndToEnd drives a live in-process sesd with the full mix and
+// checks the report: per-kind percentiles, the slowest request's traceparent,
+// and that its trace ID resolves against the server's /debug/traces ring.
+func TestSesloadEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2, Queue: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := Sesload([]string{
+		"-addr", ts.URL, "-instance", "lt",
+		"-rate", "400", "-duration", "300ms",
+		"-k", "3", "-users", "40", "-seed", "7",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("sesload exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"uploaded lt v1", "p50", "p99", "solve", "slowest:", "traceparent trace_id=", "server trace"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "not retained") {
+		t.Errorf("slowest trace did not resolve on the server:\n%s", got)
+	}
+}
+
+func TestSesloadBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Sesload([]string{"-mix", "fly=1"}, &out, &errb); code == 0 {
+		t.Error("bad mix accepted")
+	}
+	if code := Sesload([]string{"-rate", "0"}, &out, &errb); code == 0 {
+		t.Error("zero rate accepted")
+	}
+}

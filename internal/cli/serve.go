@@ -39,20 +39,22 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sesd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		workers   = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue     = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
-		cache     = fs.Int("cache", 256, "result cache capacity (entries)")
-		jobTTL    = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
-		jobCells  = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
-		parallel  = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
-		maxBody   = fs.Int64("max-body-mb", 256, "request body limit in MiB (a 1M-user sparse upload at 5% density is ~600 MiB)")
-		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
-		fsync     = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
-		segBytes  = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
-		compact   = fs.Int("compact-every", 4096, "WAL records between snapshot compactions (bounds replay cost)")
-		logFormat = fs.String("log-format", "text", "structured log format: text or json")
-		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "solver queue capacity; a full queue returns 429")
+		cache      = fs.Int("cache", 256, "result cache capacity (entries)")
+		jobTTL     = fs.Duration("job-ttl", 15*time.Minute, "how long finished sweep jobs stay pollable")
+		jobCells   = fs.Int("job-cells", 256, "max cells (algorithms × k values) per sweep job")
+		parallel   = fs.Int("parallel", 0, "scoring workers per solve (0 = sequential, -1 = all cores; keep workers × parallel near the core count)")
+		maxBody    = fs.Int64("max-body-mb", 256, "request body limit in MiB (a 1M-user sparse upload at 5% density is ~600 MiB)")
+		dataDir    = fs.String("data-dir", "", "durable data directory (WAL + snapshots, recovered on boot); empty = in-memory only")
+		fsync      = fs.Bool("fsync", false, "fsync the WAL after every append (survives power loss, slower; SIGKILL loses nothing either way)")
+		segBytes   = fs.Int64("segment-bytes", 64<<20, "WAL segment size before rolling to a new file")
+		compact    = fs.Int("compact-every", 4096, "WAL records between snapshot compactions (bounds replay cost)")
+		logFormat  = fs.String("log-format", "text", "structured log format: text or json")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		traceStore = fs.Int("trace-store", 256, "completed request traces retained for /debug/traces")
+		traceSlow  = fs.Duration("trace-slow", 0, "log traces at least this slow as one slow_trace line (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -148,6 +150,7 @@ func Sesd(args []string, stdout, stderr io.Writer) int {
 			JobTTL: *jobTTL, MaxJobCells: *jobCells, ScoreWorkers: *parallel,
 			MaxBodyBytes: *maxBody << 20,
 			DataDir:      *dataDir, Fsync: *fsync, SegmentBytes: *segBytes, CompactEvery: *compact,
+			TraceStore: *traceStore, TraceSlow: *traceSlow,
 			Logger: logger,
 		})
 		newc <- newResult{s, err}

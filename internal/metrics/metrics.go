@@ -365,6 +365,18 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	return cv.v.with(values)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ v *vec[*Gauge] }
+
+// With returns the child gauge for the given label values, creating it on
+// first use.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	return gv.v.with(values)
+}
+
 // HistogramVec is a histogram family partitioned by label values; every child
 // shares the registered bucket bounds.
 type HistogramVec struct{ v *vec[*Histogram] }
@@ -438,6 +450,21 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return cv
 }
 
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{v: newVec(labels, func() *Gauge { return &Gauge{} })}
+	r.register(&family{name: name, help: help, kind: "gauge", write: func(w io.Writer) error {
+		keys, children, values := gv.v.snapshot()
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labelString(gv.v.labels, values[k]), children[k].Value()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	return gv
+}
+
 // Gauge registers and returns an integer gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
@@ -480,6 +507,47 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 		return nil
 	}})
 	return hv
+}
+
+// HistogramSnapshot is a point-in-time histogram state produced by a
+// HistogramFunc closure: one count per registered bucket plus the trailing
+// +Inf overflow (len(buckets)+1 entries), and the sum of observed values.
+type HistogramSnapshot struct {
+	Counts []uint64
+	Sum    float64
+}
+
+// HistogramFunc registers a histogram whose state is sampled from fn at
+// scrape time — the bridge for histograms maintained elsewhere (the
+// runtime/metrics families). The rendered cumulative counts are monotone by
+// construction; a snapshot shorter than the bucket layout reads as zeros.
+func (r *Registry) HistogramFunc(name, help string, buckets []float64, fn func() HistogramSnapshot) {
+	bounds := newHistogram(buckets).bounds // validate once, loudly
+	r.register(&family{name: name, help: help, kind: "histogram", write: func(w io.Writer) error {
+		snap := fn()
+		at := func(i int) uint64 {
+			if i < len(snap.Counts) {
+				return snap.Counts[i]
+			}
+			return 0
+		}
+		var cum uint64
+		for i, b := range bounds {
+			cum += at(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLe(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += at(len(bounds))
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		return err
+	}})
 }
 
 // Names returns the registered family names, sorted. The catalogue guard test

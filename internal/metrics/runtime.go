@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	rm "runtime/metrics"
+	"sort"
+	"sync"
+)
+
+// RuntimeBuckets is the bucket layout the runtime histogram families are
+// folded into: 1µs to 1s. GC pauses sit in the tens of microseconds on a
+// healthy heap; scheduler latencies stretch into milliseconds when the solver
+// pool saturates the cores — which is exactly the signal worth graphing.
+var RuntimeBuckets = []float64{
+	0.000001, 0.00001, 0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// RegisterRuntime bridges the Go runtime/metrics families most useful for
+// capacity work into the registry under the given name prefix: goroutine
+// count, heap and total memory, GC cycles, and the GC-pause and
+// scheduler-latency distributions (re-bucketed from the runtime's
+// variable-width histograms into RuntimeBuckets). Sampling happens at scrape
+// time; an unknown family on an older runtime renders zeros rather than
+// breaking the scrape.
+func RegisterRuntime(r *Registry, prefix string) {
+	r.GaugeFunc(prefix+"go_goroutines",
+		"Goroutines currently live (runtime /sched/goroutines).",
+		runtimeValue("/sched/goroutines:goroutines"))
+	r.GaugeFunc(prefix+"go_heap_objects_bytes",
+		"Bytes occupied by live heap objects plus unswept garbage (runtime /memory/classes/heap/objects).",
+		runtimeValue("/memory/classes/heap/objects:bytes"))
+	r.GaugeFunc(prefix+"go_mem_total_bytes",
+		"Total memory mapped by the Go runtime (runtime /memory/classes/total).",
+		runtimeValue("/memory/classes/total:bytes"))
+	r.CounterFunc(prefix+"go_gc_cycles_total",
+		"Completed GC cycles (runtime /gc/cycles/total).",
+		runtimeValue("/gc/cycles/total:gc-cycles"))
+	r.HistogramFunc(prefix+"go_gc_pause_seconds",
+		"Distribution of stop-the-world GC pause latencies (runtime /sched/pauses/total/gc).",
+		RuntimeBuckets, runtimeHistogram("/sched/pauses/total/gc:seconds"))
+	r.HistogramFunc(prefix+"go_sched_latency_seconds",
+		"Distribution of goroutine scheduling latencies: time runnable before running (runtime /sched/latencies).",
+		RuntimeBuckets, runtimeHistogram("/sched/latencies:seconds"))
+}
+
+// runtimeValue returns a scrape-time closure sampling one scalar runtime
+// metric. The sample buffer is reused across scrapes under a mutex
+// (WritePrometheus callers may overlap).
+func runtimeValue(name string) func() float64 {
+	var mu sync.Mutex
+	s := []rm.Sample{{Name: name}}
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		rm.Read(s)
+		switch s[0].Value.Kind() {
+		case rm.KindUint64:
+			return float64(s[0].Value.Uint64())
+		case rm.KindFloat64:
+			return s[0].Value.Float64()
+		default:
+			return 0
+		}
+	}
+}
+
+// runtimeHistogram returns a scrape-time closure folding one runtime
+// Float64Histogram into RuntimeBuckets. The runtime's layout has hundreds of
+// variable-width buckets with ±Inf edge boundaries; each is attributed to the
+// first fixed bucket that contains its upper bound, and the sum — which the
+// runtime does not track — is estimated from bucket midpoints.
+func runtimeHistogram(name string) func() HistogramSnapshot {
+	var mu sync.Mutex
+	s := []rm.Sample{{Name: name}}
+	return func() HistogramSnapshot {
+		mu.Lock()
+		defer mu.Unlock()
+		rm.Read(s)
+		snap := HistogramSnapshot{Counts: make([]uint64, len(RuntimeBuckets)+1)}
+		if s[0].Value.Kind() != rm.KindFloat64Histogram {
+			return snap
+		}
+		h := s[0].Value.Float64Histogram()
+		if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+			return snap
+		}
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			snap.Counts[sort.SearchFloat64s(RuntimeBuckets, hi)] += c
+			snap.Sum += float64(c) * bucketMid(lo, hi)
+		}
+		return snap
+	}
+}
+
+// bucketMid estimates a representative value for a (lo, hi] runtime bucket,
+// degrading gracefully at the ±Inf edges.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, +1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

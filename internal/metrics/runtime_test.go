@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGaugeVecRendering(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("build_info", "Build metadata.", "version", "go_version")
+	gv.With("1.2.3", "go1.22").Set(1)
+	doc := mustLint(t, r)
+	if !strings.Contains(doc, `build_info{version="1.2.3",go_version="go1.22"} 1`) {
+		t.Fatalf("missing labeled gauge sample:\n%s", doc)
+	}
+	var nilGV *GaugeVec
+	nilGV.With("a", "b").Set(5) // nil-safe chain
+}
+
+func TestHistogramFuncRendering(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("pause_seconds", "Pauses.", []float64{0.01, 0.1},
+		func() HistogramSnapshot {
+			return HistogramSnapshot{Counts: []uint64{3, 2, 1}, Sum: 0.25}
+		})
+	// A short snapshot must read as zeros, not panic the scrape.
+	r.HistogramFunc("short_seconds", "Short.", []float64{1, 2},
+		func() HistogramSnapshot { return HistogramSnapshot{Counts: []uint64{4}} })
+	doc := mustLint(t, r)
+	for _, want := range []string{
+		`pause_seconds_bucket{le="0.01"} 3`,
+		`pause_seconds_bucket{le="0.1"} 5`,
+		`pause_seconds_bucket{le="+Inf"} 6`,
+		`pause_seconds_sum 0.25`,
+		`pause_seconds_count 6`,
+		`short_seconds_bucket{le="1"} 4`,
+		`short_seconds_bucket{le="+Inf"} 4`,
+		`short_seconds_count 4`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q in:\n%s", want, doc)
+		}
+	}
+}
+
+// TestRegisterRuntime scrapes the live runtime families and checks they
+// render lint-clean with plausible values.
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r, "sesd_")
+	runtime.GC() // guarantee at least one GC cycle and pause
+	doc := mustLint(t, r)
+	for _, fam := range []string{
+		"sesd_go_goroutines",
+		"sesd_go_heap_objects_bytes",
+		"sesd_go_mem_total_bytes",
+		"sesd_go_gc_cycles_total",
+		"sesd_go_gc_pause_seconds_count",
+		"sesd_go_sched_latency_seconds_count",
+	} {
+		if !strings.Contains(doc, "\n"+fam) && !strings.Contains(doc, fam+" ") {
+			t.Errorf("family %s missing from scrape", fam)
+		}
+	}
+	// A live process has at least one goroutine and a forced GC cycle.
+	for _, line := range strings.Split(doc, "\n") {
+		if v, ok := strings.CutPrefix(line, "sesd_go_goroutines "); ok && v == "0" {
+			t.Error("goroutine gauge rendered 0")
+		}
+		if v, ok := strings.CutPrefix(line, "sesd_go_gc_cycles_total "); ok && v == "0" {
+			t.Error("gc cycles counter rendered 0 after runtime.GC")
+		}
+	}
+}
+
+func TestBucketMid(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct{ lo, hi, want float64 }{
+		{1, 3, 2},
+		{-inf, 5, 5},
+		{5, inf, 5},
+		{-inf, inf, 0},
+	}
+	for _, c := range cases {
+		if got := bucketMid(c.lo, c.hi); got != c.want {
+			t.Errorf("bucketMid(%v, %v) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}

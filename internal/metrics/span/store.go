@@ -1,0 +1,120 @@
+package span
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is a bounded in-memory ring of finished trace snapshots — the backing
+// of GET /debug/traces. Adding past capacity evicts the oldest trace; lookups
+// by trace ID stay O(1) through a side index. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	buf  []TraceData
+	next int // ring write cursor
+	n    int // filled slots (== len(buf) once wrapped)
+	byID map[string]int
+
+	stored  atomic.Int64
+	evicted atomic.Int64
+}
+
+// NewStore returns a ring retaining the most recent capacity traces
+// (minimum 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{buf: make([]TraceData, capacity), byID: make(map[string]int, capacity)}
+}
+
+// Add retains the trace, evicting the oldest one past capacity. A repeated
+// trace ID (a client replaying one traceparent) keeps both ring entries but
+// the ID index points at the newest.
+func (st *Store) Add(td TraceData) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	slot := st.next
+	if st.n == len(st.buf) {
+		old := st.buf[slot]
+		if i, ok := st.byID[old.TraceID]; ok && i == slot {
+			delete(st.byID, old.TraceID)
+		}
+		st.evicted.Add(1)
+	} else {
+		st.n++
+	}
+	st.buf[slot] = td
+	st.byID[td.TraceID] = slot
+	st.next = (st.next + 1) % len(st.buf)
+	st.mu.Unlock()
+	st.stored.Add(1)
+}
+
+// Get returns the retained trace with the given ID.
+func (st *Store) Get(id string) (TraceData, bool) {
+	if st == nil {
+		return TraceData{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i, ok := st.byID[id]
+	if !ok {
+		return TraceData{}, false
+	}
+	return st.buf[i], true
+}
+
+// Recent returns up to limit retained traces, newest first, keeping only
+// those matching route (when non-empty) and at least minDur long.
+func (st *Store) Recent(route string, minDur time.Duration, limit int) []TraceData {
+	if st == nil || limit <= 0 {
+		return nil
+	}
+	minMS := float64(minDur) / float64(time.Millisecond)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceData, 0, min(limit, st.n))
+	for i := 1; i <= st.n && len(out) < limit; i++ {
+		// Walk backwards from the newest entry, wrapping around the ring.
+		td := st.buf[(st.next-i+len(st.buf))%len(st.buf)]
+		if route != "" && td.Route != route {
+			continue
+		}
+		if td.DurationMS < minMS {
+			continue
+		}
+		out = append(out, td)
+	}
+	return out
+}
+
+// Len reports the number of currently retained traces.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n
+}
+
+// Stored counts traces ever added.
+func (st *Store) Stored() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.stored.Load()
+}
+
+// Evicted counts traces pushed out by the ring bound.
+func (st *Store) Evicted() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.evicted.Load()
+}

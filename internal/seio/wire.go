@@ -80,6 +80,11 @@ type SolveResponse struct {
 	// cached response would otherwise report another run's timings as its
 	// own.
 	Stages []StageTiming `json:"stage_timings,omitempty"`
+	// TraceID names the server-side trace of the request that produced this
+	// response; resolve it at GET /debug/traces/{id} while retained. Never
+	// cached or persisted — each response carries its own request's ID, even
+	// on the cache-hit path.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ExtendRequest is the body of POST /instances/{name}/extend: grow Base by

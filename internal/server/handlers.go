@@ -20,6 +20,11 @@ import (
 type HealthStatus struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version, GoVersion and GitSHA identify the running build — the same
+	// fields the sesd_build_info gauge carries as labels.
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	GitSHA    string `json:"git_sha"`
 	// Durable reports whether a WAL is attached (-data-dir).
 	Durable bool `json:"durable"`
 	// Recovered is true when boot-time replay applied any prior state — a
@@ -35,9 +40,13 @@ type HealthStatus struct {
 // the Server, so a reachable handler IS a recovered one — the 503-recovering
 // phase lives in cli.Sesd, which answers for the listener while New replays.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version, goVersion, gitSHA := buildInfo()
 	h := HealthStatus{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Version:       version,
+		GoVersion:     goVersion,
+		GitSHA:        gitSHA,
 		Durable:       s.wal != nil,
 	}
 	if rec := s.recovery; rec != nil {
@@ -148,7 +157,12 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, run func()) bool {
 	done := make(chan struct{})
 	var panicked any
+	// The queue span measures enqueue-to-pickup. A rejected or skipped job
+	// never ends it; the trace snapshot clamps the open span to the trace
+	// end, which is exactly how long the request was stuck behind the queue.
+	qs := span.FromContext(r.Context()).Start("queue")
 	err := s.pool.Submit(r.Context(), func() {
+		qs.End()
 		defer close(done)
 		// A panicking solver must cost this request a 500, not the
 		// daemon its life (and with it the memory-only store).
@@ -218,17 +232,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		seed:      seedKeyFor(req.Algorithm, req.Seed),
 		opts:      optsFingerprint(req.UserWeights, req.EventCosts),
 	}
+	// The request trace was minted by the instrument middleware and rides the
+	// request context into the pool and the scoring engine, which books
+	// batched-scoring time against it. Every span call is nil-safe, so
+	// handlers invoked without the middleware (direct unit tests) still work.
+	tr := span.FromContext(r.Context())
+	tr.Annotate("instance", name)
+	tr.Annotate("algorithm", req.Algorithm)
 	if resp, ok := s.cache.Get(key); ok {
 		resp.Cached = true
+		resp.TraceID = tr.ID()
+		tr.Annotate("cache", "hit")
 		writeJSON(w, http.StatusOK, resp)
 		return
-	}
-	// Opt-in stage tracing: the trace rides the request context into the
-	// scoring engine, which books batched-scoring time against it. Nil when
-	// not requested, making every span call below a no-op.
-	var tr *span.Trace
-	if req.Timings {
-		tr = span.New()
 	}
 	var (
 		resp   seio.SolveResponse
@@ -239,8 +255,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// dense precompute and (with ScoreWorkers) the scoring worker set
 		// are paid once per version, not per request.
 		acq := tr.Start("engine_acquire")
-		en, releaseEngine, _, err := s.engines.acquire(
+		en, releaseEngine, reused, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: key.opts}, inst, opts)
+		acq.Annotate("engine", engineTemp(reused))
 		acq.End()
 		if err != nil {
 			slvErr = err
@@ -250,13 +267,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The request's context rides into the solver: a client that
 		// disconnects mid-solve frees its worker at the next periodic
 		// cancellation check instead of holding it to completion.
-		res, err := algo.WithEngine(sched, en).ScheduleCtx(span.NewContext(r.Context(), tr), inst, req.K)
+		res, err := algo.WithEngine(sched, en).ScheduleCtx(r.Context(), inst, req.K)
 		if err != nil {
 			slvErr = err
 			return
 		}
 		s.scoreEvals.Add(res.ScoreEvals)
 		s.examined.Add(res.Examined)
+		bookSelect(tr, res.Elapsed)
 		enc := tr.Start("encode")
 		msg := seio.NewScheduleMsg(inst, res.Schedule)
 		enc.End()
@@ -269,11 +287,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Examined:   res.Examined,
 			ElapsedMS:  seio.DurationMS(res.Elapsed),
 		}
-		// Cache and log the response WITHOUT stages: a cached or replayed
-		// response must not present another run's timings as its own.
+		// Cache and log the response WITHOUT stages or trace ID: a cached or
+		// replayed response must not present another run's identity as its own.
 		s.cache.Put(key, resp)
 		s.appendSolveRecord(key, resp)
-		resp.Stages = stageBreakdown(tr, res.Elapsed)
+		if req.Timings {
+			resp.Stages = stageBreakdown(tr)
+		}
+		resp.TraceID = tr.ID()
 	}) {
 		return
 	}
@@ -284,25 +305,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// bookSelect books the "select" aggregate against the trace: the remainder of
+// the solver's elapsed time after batched frontier scoring (candidate
+// enumeration, argmax selection, and any scoring done outside batched calls).
+// Clamped at zero because parallel scoring can book more stage time than wall
+// time.
+func bookSelect(tr *span.Trace, solveElapsed time.Duration) {
+	selectD := solveElapsed - tr.Get("score")
+	if selectD < 0 {
+		selectD = 0
+	}
+	tr.Add("select", selectD)
+}
+
 // stageBreakdown renders a solve's trace as the response's stage list:
 // engine_acquire and encode are measured directly, "score" is the batched
 // frontier-scoring time the engine booked against the trace, and "select" is
-// the remainder of the solver's elapsed time (candidate enumeration, argmax
-// selection, and any scoring done outside batched calls). Nil trace → nil.
-func stageBreakdown(tr *span.Trace, solveElapsed time.Duration) []seio.StageTiming {
+// the remainder booked by bookSelect. Nil trace → nil.
+func stageBreakdown(tr *span.Trace) []seio.StageTiming {
 	if tr == nil {
 		return nil
 	}
-	scoreD := tr.Get("score")
-	selectD := solveElapsed - scoreD
-	if selectD < 0 {
-		// Parallel scoring can book more stage time than wall time.
-		selectD = 0
-	}
 	return []seio.StageTiming{
 		{Stage: "engine_acquire", MS: seio.DurationMS(tr.Get("engine_acquire"))},
-		{Stage: "score", MS: seio.DurationMS(scoreD)},
-		{Stage: "select", MS: seio.DurationMS(selectD)},
+		{Stage: "score", MS: seio.DurationMS(tr.Get("score"))},
+		{Stage: "select", MS: seio.DurationMS(tr.Get("select"))},
 		{Stage: "encode", MS: seio.DurationMS(tr.Get("encode"))},
 	}
 }
@@ -333,32 +360,33 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := core.ScorerOptions{UserWeights: req.UserWeights, EventCost: req.EventCosts}
-	var tr *span.Trace
-	if req.Timings {
-		tr = span.New()
-	}
+	tr := span.FromContext(r.Context())
+	tr.Annotate("instance", name)
+	tr.Annotate("algorithm", "EXTEND")
 	var (
 		resp   seio.SolveResponse
 		extErr error
 	)
 	if !s.runPooled(w, r, func() {
 		acq := tr.Start("engine_acquire")
-		en, releaseEngine, _, err := s.engines.acquire(
+		en, releaseEngine, reused, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version, opts: optsFingerprint(req.UserWeights, req.EventCosts)},
 			inst, opts)
+		acq.Annotate("engine", engineTemp(reused))
 		acq.End()
 		if err != nil {
 			extErr = err
 			return
 		}
 		defer releaseEngine()
-		res, err := algo.ExtendWithEngine(span.NewContext(r.Context(), tr), en, base, req.Extra)
+		res, err := algo.ExtendWithEngine(r.Context(), en, base, req.Extra)
 		if err != nil {
 			extErr = err
 			return
 		}
 		s.scoreEvals.Add(res.ScoreEvals)
 		s.examined.Add(res.Examined)
+		bookSelect(tr, res.Elapsed)
 		enc := tr.Start("encode")
 		msg := seio.NewScheduleMsg(inst, res.Schedule)
 		enc.End()
@@ -370,7 +398,10 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 			ScoreEvals: res.ScoreEvals,
 			Examined:   res.Examined,
 			ElapsedMS:  seio.DurationMS(res.Elapsed),
-			Stages:     stageBreakdown(tr, res.Elapsed),
+			TraceID:    tr.ID(),
+		}
+		if req.Timings {
+			resp.Stages = stageBreakdown(tr)
 		}
 	}) {
 		return

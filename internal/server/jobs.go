@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/metrics/span"
 	"repro/internal/seio"
 )
 
@@ -655,16 +657,28 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 		j.finishCell(c, seio.CellFailed, seio.SolveResponse{}, err)
 		return
 	}
+	// Sweep cells run far from their submitting request, so each actually
+	// solved cell gets its own root trace — cache hits above stay out of the
+	// ring. The job ID ties the trace back to the sweep.
+	tr := span.NewRoot("job_cell")
+	tr.Annotate("job", j.id)
+	tr.Annotate("instance", j.name)
+	tr.Annotate("algorithm", c.algorithm)
+	tr.Annotate("k", strconv.Itoa(c.k))
+	defer s.recordTrace(tr)
 	// Every cell of the sweep runs against the job's pinned version, so all
 	// of them (and any concurrent solves of that version) share one engine.
-	en, releaseEngine, _, err := s.engines.acquire(
+	acq := tr.Start("engine_acquire")
+	en, releaseEngine, reused, err := s.engines.acquire(
 		engineKey{name: j.name, version: j.info.Version, opts: j.optsFP}, j.inst, j.opts)
+	acq.Annotate("engine", engineTemp(reused))
+	acq.End()
 	if err != nil {
 		j.finishCell(c, seio.CellFailed, seio.SolveResponse{}, err)
 		return
 	}
 	defer releaseEngine()
-	res, err := algo.WithEngine(sched, en).ScheduleCtx(j.ctx, j.inst, c.k)
+	res, err := algo.WithEngine(sched, en).ScheduleCtx(span.NewContext(j.ctx, tr), j.inst, c.k)
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finishCell(c, seio.CellCancelled, seio.SolveResponse{}, err)
@@ -675,11 +689,15 @@ func (s *Server) runJobCell(j *Job, c *jobCell) {
 	}
 	s.scoreEvals.Add(res.ScoreEvals)
 	s.examined.Add(res.Examined)
+	bookSelect(tr, res.Elapsed)
+	enc := tr.Start("encode")
+	msg := seio.NewScheduleMsg(j.inst, res.Schedule)
+	enc.End()
 	resp := seio.SolveResponse{
 		Instance:   j.info,
 		Algorithm:  c.algorithm,
 		K:          c.k,
-		Schedule:   seio.NewScheduleMsg(j.inst, res.Schedule),
+		Schedule:   msg,
 		ScoreEvals: res.ScoreEvals,
 		Examined:   res.Examined,
 		ElapsedMS:  seio.DurationMS(res.Elapsed),

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/metrics/span"
 	"repro/internal/persist"
 	"repro/internal/score"
 )
@@ -28,6 +29,16 @@ import (
 // calls: frontiers range from a handful of events to the low thousands.
 var batchWidthBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
+// streamDurationBuckets lay out the streaming-route duration family: an SSE
+// subscription legitimately stays open from seconds to hours, so the buckets
+// run far past the request-latency layout.
+var streamDurationBuckets = []float64{0.01, 0.1, 1, 10, 60, 300, 1800, 7200, 43200}
+
+// streamingRoutes hold a connection open for the subscription's lifetime;
+// their durations go to sesd_http_stream_duration_seconds so they cannot
+// poison the request-latency percentiles.
+var streamingRoutes = map[string]bool{"subscribe": true}
+
 // initMetrics builds the registry and the write-path instruments. Called by
 // New before persistence opens (the WAL wants its histograms at Open time);
 // the scrape-time closures tolerate fields that are still nil.
@@ -39,9 +50,33 @@ func (s *Server) initMetrics() {
 	s.httpRequests = r.CounterVec("sesd_http_requests_total",
 		"HTTP requests served, by route and status code.", "route", "code")
 	s.httpDuration = r.HistogramVec("sesd_http_request_duration_seconds",
-		"HTTP request latency by route.", metrics.DurationBuckets, "route")
+		"HTTP request latency by route (streaming routes excluded; see sesd_http_stream_duration_seconds).",
+		metrics.DurationBuckets, "route")
+	s.httpStreamDuration = r.HistogramVec("sesd_http_stream_duration_seconds",
+		"Connection lifetime of long-held streaming routes (SSE subscribe).",
+		streamDurationBuckets, "route")
 	s.httpInFlight = r.Gauge("sesd_http_requests_in_flight",
 		"HTTP requests currently being served.")
+
+	// Build identity and runtime health.
+	version, goVersion, gitSHA := buildInfo()
+	r.GaugeVec("sesd_build_info",
+		"Constant 1, labeled with the build's version, Go toolchain and git revision.",
+		"version", "go_version", "git_sha").With(version, goVersion, gitSHA).Set(1)
+	metrics.RegisterRuntime(r, "sesd_")
+
+	// Request tracing.
+	r.CounterFunc("sesd_traces_stored_total",
+		"Completed traces retained in the /debug/traces ring.",
+		func() float64 { return float64(s.traces.Stored()) })
+	r.CounterFunc("sesd_traces_evicted_total",
+		"Traces evicted from the ring by newer ones (raise -trace-store to keep more).",
+		func() float64 { return float64(s.traces.Evicted()) })
+	r.GaugeFunc("sesd_traces_retained",
+		"Traces currently retained in the ring.",
+		func() float64 { return float64(s.traces.Len()) })
+	s.traceSlow = r.Counter("sesd_trace_slow_total",
+		"Traces slower than -trace-slow, tail-sampled into the structured log.")
 
 	// Service-level.
 	r.GaugeFunc("sesd_uptime_seconds",
@@ -312,9 +347,10 @@ func (s *Server) nextRequestID() string {
 
 // instrument wraps one route's handler with the observability middleware:
 // request counting (both the /stats counter and the labeled Prometheus
-// family), in-flight and latency tracking, request-ID propagation, and one
-// structured access-log line per request. Counters bump at entry, matching
-// the previous per-handler s.count placement.
+// family), in-flight and latency tracking, request-ID and traceparent
+// propagation, the request's span tree, and one structured access-log line
+// per request. Counters bump at entry, matching the previous per-handler
+// s.count placement.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -328,6 +364,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", rid)
 
+		// Every request gets a trace rooted at its route; a valid incoming
+		// W3C traceparent is adopted so the server's spans join the caller's
+		// trace, and either way the header is echoed with the root span as
+		// the parent ID. The trace rides the request context into the pool,
+		// the engine cache and the scoring engine.
+		tr := span.NewRoot(route)
+		tr.Adopt(r.Header.Get("traceparent"))
+		tr.Annotate("request_id", rid)
+		w.Header().Set("traceparent", tr.Traceparent())
+		r = r.WithContext(span.NewContext(r.Context(), tr))
+
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 
@@ -339,7 +386,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 		elapsed := time.Since(start)
 		s.httpRequests.With(route, strconv.Itoa(code)).Inc()
-		s.httpDuration.With(route).Observe(elapsed.Seconds())
+		if streamingRoutes[route] {
+			s.httpStreamDuration.With(route).Observe(elapsed.Seconds())
+		} else {
+			s.httpDuration.With(route).Observe(elapsed.Seconds())
+		}
+
+		tr.Annotate("method", r.Method)
+		tr.Annotate("path", r.URL.Path)
+		tr.Annotate("status", strconv.Itoa(code))
+		if !untracedRoutes[route] {
+			s.recordTrace(tr)
+		}
 
 		lvl := slog.LevelInfo
 		if code >= 500 {
@@ -347,6 +405,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 		s.logger.LogAttrs(r.Context(), lvl, "request",
 			slog.String("request_id", rid),
+			slog.String("trace_id", tr.ID()),
 			slog.String("method", r.Method),
 			slog.String("route", route),
 			slog.String("path", r.URL.Path),

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/metrics/span"
 	"repro/internal/seio"
 )
 
@@ -142,6 +143,16 @@ func (s *Server) resolveCurrent(ctx context.Context, name, algorithm string, k i
 		resp.Cached = true
 		return resp, true, nil
 	}
+	// Subscribe pushes run outside any HTTP request trace (the SSE request's
+	// own trace ended at connect), so each actual re-solve mints its own root.
+	// Minted after the cache check: trivial hits would only bury real solves
+	// in the ring.
+	tr := span.NewRoot("resolve")
+	tr.Annotate("instance", name)
+	tr.Annotate("algorithm", algorithm)
+	tr.Annotate("k", strconv.Itoa(k))
+	defer s.recordTrace(tr)
+	ctx = span.NewContext(ctx, tr)
 	var (
 		resp   seio.SolveResponse
 		warm   bool
@@ -149,9 +160,11 @@ func (s *Server) resolveCurrent(ctx context.Context, name, algorithm string, k i
 	)
 	start := time.Now()
 	done := make(chan struct{})
+	qs := tr.Start("queue")
 	// SubmitWait, not Submit: the subscribe loop owns a goroutine and wants
 	// the queue's backpressure to pace its re-solves, not fail them.
 	err = s.pool.SubmitWait(ctx, func() {
+		qs.End()
 		defer close(done)
 		defer func() {
 			if r := recover(); r != nil {
@@ -159,8 +172,11 @@ func (s *Server) resolveCurrent(ctx context.Context, name, algorithm string, k i
 				slvErr = fmt.Errorf("solver panicked: %v", r)
 			}
 		}()
+		acq := tr.Start("engine_acquire")
 		en, releaseEngine, reused, err := s.engines.acquire(
 			engineKey{name: name, version: info.Version}, inst, core.ScorerOptions{})
+		acq.Annotate("engine", engineTemp(reused))
+		acq.End()
 		if err != nil {
 			slvErr = err
 			return
@@ -174,6 +190,7 @@ func (s *Server) resolveCurrent(ctx context.Context, name, algorithm string, k i
 		warm = reused
 		s.scoreEvals.Add(res.ScoreEvals)
 		s.examined.Add(res.Examined)
+		bookSelect(tr, res.Elapsed)
 		resp = seio.SolveResponse{
 			Instance:   info,
 			Algorithm:  algorithm,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/metrics/span"
 	"repro/internal/persist"
 	"repro/internal/score"
 	"repro/internal/seio"
@@ -67,6 +68,13 @@ type Config struct {
 	// lifecycle events. Nil discards them — tests and embedded servers stay
 	// silent without configuration.
 	Logger *slog.Logger
+	// TraceStore bounds the in-memory ring of completed request traces
+	// served by GET /debug/traces; default 256.
+	TraceStore int
+	// TraceSlow tail-samples traces slower than this threshold into the
+	// structured log as one line with the trace ID and per-span durations.
+	// 0 (the default) disables slow-trace logging.
+	TraceSlow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = 4096
 	}
+	if c.TraceStore <= 0 {
+		c.TraceStore = 256
+	}
 	return c
 }
 
@@ -106,7 +117,7 @@ var routes = []string{
 	"healthz", "stats", "metrics", "list_instances", "put_instance",
 	"get_instance", "delete_instance", "mutate_instance", "solve", "extend",
 	"simulate", "summarize", "submit_job", "get_job", "list_jobs",
-	"cancel_job", "mutate_batch", "subscribe",
+	"cancel_job", "mutate_batch", "subscribe", "debug_traces", "debug_trace",
 }
 
 // Server is the sesd HTTP service: store + pool + cache + async jobs behind
@@ -131,11 +142,21 @@ type Server struct {
 	logger       *slog.Logger
 	httpRequests *metrics.CounterVec
 	httpDuration *metrics.HistogramVec
-	httpInFlight *metrics.Gauge
-	scoreSink    *score.Sink
-	persistM     *persist.Metrics
-	ridPrefix    string
-	reqSeq       atomic.Int64
+	// httpStreamDuration is the duration family of long-held streaming
+	// routes (SSE subscribe): their open-for-minutes observations would
+	// otherwise poison the request-latency percentiles.
+	httpStreamDuration *metrics.HistogramVec
+	httpInFlight       *metrics.Gauge
+	scoreSink          *score.Sink
+	persistM           *persist.Metrics
+	ridPrefix          string
+	reqSeq             atomic.Int64
+
+	// Request tracing: every request gets a span tree (see instrument);
+	// completed traces land in the bounded ring behind GET /debug/traces,
+	// and ones slower than cfg.TraceSlow are tail-sampled into the log.
+	traces    *span.Store
+	traceSlow *metrics.Counter
 
 	// scoreEvals / examined accumulate the work counters of every solver
 	// run executed by the pool; a cache hit adds nothing, which is how the
@@ -188,6 +209,7 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 		counts:  make(map[string]*atomic.Int64, len(routes)),
 		logger:  cfg.Logger,
+		traces:  span.NewStore(cfg.TraceStore),
 	}
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -234,6 +256,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /jobs", s.instrument("list_jobs", s.handleListJobs))
 	s.mux.Handle("GET /jobs/{id}", s.instrument("get_job", s.handleGetJob))
 	s.mux.Handle("DELETE /jobs/{id}", s.instrument("cancel_job", s.handleCancelJob))
+	s.mux.Handle("GET /debug/traces", s.instrument("debug_traces", s.handleTraces))
+	s.mux.Handle("GET /debug/traces/{id}", s.instrument("debug_trace", s.handleTrace))
 	return s, nil
 }
 
