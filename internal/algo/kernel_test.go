@@ -1,0 +1,85 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestKernelVariantSchedulersBitIdentical is the kernel-dispatch acceptance
+// gate: every scheduler must produce bit-identical schedules, utilities and
+// work counters across the exact kernel variants — scalar and blocked on the
+// dense representation, the representation-picked sparse kernel on the sparse
+// build of the same instance — at sequential, mid and oversubscribed worker
+// counts. (The inexact simd variant is tolerance-gated in internal/core, not
+// here: Exact() == false keeps it out of bit-identity gates by contract.)
+func TestKernelVariantSchedulersBitIdentical(t *testing.T) {
+	type build struct {
+		label  string
+		sparse bool
+		kernel string
+	}
+	builds := []build{
+		{"dense/scalar", false, core.KernelScalar},
+		{"dense/blocked", false, core.KernelBlocked},
+		{"sparse/auto", true, core.KernelAuto},
+	}
+	type regime struct {
+		nU      int
+		workers []int
+	}
+	regimes := []regime{{500, []int{0, 3, 8}}}
+	if !testing.Short() {
+		// One multi-shard regime so the kernels' shard-offset paths engage.
+		regimes = append(regimes, regime{10_000, []int{0, 8}})
+	}
+	for _, rg := range regimes {
+		dense, sparse := sparseDensePair(t, 71, 14, 5, 4, rg.nU, 0.15)
+		k := 7
+		for _, name := range Names() {
+			ref, err := NewWithOptions(name, 7, core.ScorerOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := ref.Schedule(dense, k)
+			if err != nil {
+				t.Fatalf("%s reference: %v", name, err)
+			}
+			for _, b := range builds {
+				inst := dense
+				if b.sparse {
+					inst = sparse
+				}
+				for _, workers := range rg.workers {
+					s, err := NewWithOptions(name, 7, core.ScorerOptions{Workers: workers, Kernel: b.kernel})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rv, err := s.Schedule(inst, k)
+					if err != nil {
+						t.Fatalf("%s %s workers=%d: %v", name, b.label, workers, err)
+					}
+					if rv.Utility != rr.Utility {
+						t.Errorf("|U|=%d %s %s workers=%d: Ω %x vs reference %x",
+							rg.nU, name, b.label, workers, rv.Utility, rr.Utility)
+					}
+					if rv.Counters != rr.Counters {
+						t.Errorf("|U|=%d %s %s workers=%d: counters %+v vs %+v",
+							rg.nU, name, b.label, workers, rv.Counters, rr.Counters)
+					}
+					ga, gr := rv.Schedule.Assignments(), rr.Schedule.Assignments()
+					if len(ga) != len(gr) {
+						t.Fatalf("|U|=%d %s %s workers=%d: %d selections vs %d",
+							rg.nU, name, b.label, workers, len(ga), len(gr))
+					}
+					for j := range ga {
+						if ga[j] != gr[j] {
+							t.Errorf("|U|=%d %s %s workers=%d: selection %d = %+v vs %+v",
+								rg.nU, name, b.label, workers, j, ga[j], gr[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

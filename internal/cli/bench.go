@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/score"
 )
@@ -33,6 +34,7 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		verbose  = fs.Bool("v", false, "log every measurement as it completes")
 		trials   = fs.Int("trials", 5, "trials per dataset for -fig summary / stacking")
 		parallel = fs.Int("parallel", 0, "score with this many workers per measurement (0 = sequential, -1 = all cores; identical utilities/counters, lower wall time)")
+		kernel   = fs.String("kernel", "auto", "Eq. 4 kernel variant: auto|scalar|blocked|simd (exact variants keep utilities/counters bit-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -41,6 +43,9 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if err := core.CheckKernel(*kernel); err != nil {
+		return fail(stderr, "sesbench", err)
+	}
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
 		return fail(stderr, "sesbench", err)
@@ -48,7 +53,7 @@ func Sesbench(args []string, stdout, stderr io.Writer) int {
 	if *parallel < 0 {
 		*parallel = score.DefaultWorkers()
 	}
-	o := exp.Options{Scale: sc, Seed: *seed, Workers: *parallel}
+	o := exp.Options{Scale: sc, Seed: *seed, Workers: *parallel, Kernel: *kernel}
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -181,5 +181,21 @@ func NewScorerFromDelta(prev *Scorer, inst *Instance, opts ScorerOptions, d Scor
 			}
 		}
 	}
+
+	// The kernel builds last, with warm hints: factories that precompute
+	// per-column layout (sparse shard offsets, blocked widened tiles) share
+	// the previous kernel's slices for columns the delta left clean and
+	// rebuild only the dirty ones. A kernel-selection change between prev
+	// and opts simply misses the reuse (the type assertion in the factory
+	// fails) and builds cold — never mixes variants.
+	sc.warmPrev = prev.kern
+	sc.warmDirtyEvents = d.Events
+	sc.warmDirtyActs = d.ActIntervals
+	k, kerr := buildKernel(sc, opts.Kernel)
+	sc.warmPrev, sc.warmDirtyEvents, sc.warmDirtyActs = nil, nil, nil
+	if kerr != nil {
+		return nil, kerr
+	}
+	sc.kern = k
 	return sc, nil
 }

@@ -1,0 +1,158 @@
+package core
+
+// The blocked dense kernel: the same Eq. 4 loops as the scalar reference, run
+// over a widened, tile-walked copy of the dense layout.
+//
+// The scalar kernel's inner loops widen two float32 streams (µ column,
+// activity column) to float64 on every element of every pass, and each pass
+// streams 4-byte elements whose widened form the next round re-derives from
+// scratch. The blocked kernel pays the widening once at Scorer construction:
+// it re-packs every candidate µ column and every (possibly weighted) activity
+// column into float64 arrays, and walks them in fixed user tiles of
+// blockedTile elements so each tile's operands stay resident across the
+// bounds-check-friendly inner loop. Users are visited in exactly the same
+// ascending order with exactly the same arithmetic — float32→float64
+// conversion is exact, so mu64[u] and act64[u] are bit-for-bit the values the
+// scalar kernel computes inline — which keeps the variant under the
+// bit-identity gates (Exact() == true).
+//
+// The price is memory: float64 copies double the footprint of the µ and
+// activity payloads, which is why "blocked" is opt-in rather than the auto
+// default. On sparse instances the dense tiles do not exist and the selection
+// resolves to the sparse kernel.
+
+// blockedTile is the tile width (users per inner-loop block). 4096 float64
+// elements per stream = 32 KiB, so a four-stream full-case tile touches
+// 128 KiB — sized for outer cache levels while keeping per-tile loop overhead
+// negligible. It divides ShardUsers, so engine shards decompose into whole
+// tiles.
+const blockedTile = 4096
+
+// blockedKernel holds the widened layout: mu64[e] is candidate event e's µ
+// column and act64[t] interval t's scoring activity column (weighted when the
+// scorer is), both full |U| length.
+type blockedKernel struct {
+	mu64  [][]float64
+	act64 [][]float64
+}
+
+// newBlockedSelection resolves the "blocked" selection: the widened-tile
+// kernel on dense instances, the sparse kernel on sparse ones (the blocked
+// layout is a dense-representation concept).
+func newBlockedSelection(sc *Scorer) (Kernel, error) {
+	if sc.inst.sparse != nil {
+		return newSparseKernel(sc)
+	}
+	return newBlockedKernel(sc)
+}
+
+// newBlockedKernel widens the dense columns. During a warm scorer rebuild
+// (NewScorerFromDelta) columns the mutation left clean are shared from the
+// previous scorer's kernel: each widened column is a pure function of the
+// source column (and the constant user weights), so clean shares are exact.
+func newBlockedKernel(sc *Scorer) (Kernel, error) {
+	inst := sc.inst
+	k := &blockedKernel{
+		mu64:  make([][]float64, inst.NumEvents()),
+		act64: make([][]float64, inst.NumIntervals()),
+	}
+	var prev *blockedKernel
+	if p, ok := sc.warmPrev.(*blockedKernel); ok &&
+		len(p.mu64) == len(k.mu64) && len(p.act64) == len(k.act64) {
+		prev = p
+	}
+	var dirtyMu, dirtyAct []bool
+	if prev != nil {
+		dirtyMu = markSet(sc.warmDirtyEvents, inst.NumEvents())
+		dirtyAct = markSet(sc.warmDirtyActs, inst.NumIntervals())
+	}
+	for e := range k.mu64 {
+		if prev != nil && !dirtyMu[e] {
+			k.mu64[e] = prev.mu64[e]
+			continue
+		}
+		k.mu64[e] = widenCol(inst.interestCol(e))
+	}
+	for t := range k.act64 {
+		if prev != nil && !dirtyAct[t] {
+			k.act64[t] = prev.act64[t]
+			continue
+		}
+		k.act64[t] = widenCol(sc.scoreActivityCol(t))
+	}
+	return k, nil
+}
+
+// widenCol copies a float32 column into a float64 one. The conversion is
+// exact: every float32 is exactly representable as a float64.
+func widenCol(src []float32) []float64 {
+	dst := make([]float64, len(src))
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return dst
+}
+
+func (*blockedKernel) Name() string { return KernelBlocked }
+func (*blockedKernel) Exact() bool  { return true }
+
+// ScoreRange runs the four scalar denominator cases over the widened columns
+// in blockedTile-user tiles. Identical operand values in identical order —
+// only the load width and loop structure differ — so the result is
+// bit-identical to the scalar kernel.
+func (k *blockedKernel) ScoreRange(sc *Scorer, s *Schedule, e, t, lo, hi int) float64 {
+	mu := k.mu64[e][lo:hi]
+	act := k.act64[t][lo:hi]
+	comp := sc.compSum[t]
+	assigned := s.assignedInterestSum(t)
+	if comp != nil {
+		comp = comp[lo:hi]
+	}
+	if assigned != nil {
+		assigned = assigned[lo:hi]
+	}
+
+	gain := 0.0
+	for b := 0; b < len(mu); b += blockedTile {
+		be := b + blockedTile
+		if be > len(mu) {
+			be = len(mu)
+		}
+		bmu := mu[b:be]
+		bact := act[b:be:be]
+		switch {
+		case comp == nil && assigned == nil:
+			for u, m := range bmu {
+				gain += bact[u] * m / (m + denomEps)
+			}
+		case assigned == nil:
+			bcomp := comp[b:be:be]
+			for u, m := range bmu {
+				gain += bact[u] * m / (bcomp[u] + m + denomEps)
+			}
+		case comp == nil:
+			bassigned := assigned[b:be:be]
+			for u, m := range bmu {
+				a := bassigned[u]
+				gain += bact[u] * ((a+m)/(a+m+denomEps) - a/(a+denomEps))
+			}
+		default:
+			bcomp := comp[b:be:be]
+			bassigned := assigned[b:be:be]
+			for u, m := range bmu {
+				a := bassigned[u]
+				oldD := bcomp[u] + a
+				gain += bact[u] * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
+			}
+		}
+	}
+	return gain
+}
+
+func (*blockedKernel) AddColInto(inst *Instance, h int, dst []float64) {
+	denseAddColInto(inst, h, dst)
+}
+
+func (*blockedKernel) SubColInto(inst *Instance, h int, dst []float64) {
+	denseSubColInto(inst, h, dst)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// simdSumTolerance bounds the reassociation error of summing n non-negative
+// Eq. 4 terms in a different order. Every per-term value is bit-identical
+// across kernels (see the accuracy contract in kernel_simd_amd64.go); only
+// the reduction order may differ, perturbing the sum by at most
+// (n−1)·ε·Σ|termᵢ| to first order. Eq. 4 gain terms are all ≥ 0 (the
+// denominator grows by m ≥ 0, so the full-case bracket is non-negative), so
+// Σ|termᵢ| is the reference sum itself. The factor 4 absorbs higher-order
+// rounding; the absolute floor covers sums near zero.
+func simdSumTolerance(n int, ref float64) float64 {
+	const eps = 1.1102230246251565e-16 // 2⁻⁵³
+	return 4*float64(n)*eps*math.Abs(ref) + 1e-300
+}
+
+// FuzzKernelEquivalence drives random instances × schedules × user-range
+// bounds through every kernel variant: the exact kernels (scalar, blocked,
+// sparse) must agree bitwise, and — in `-tags sessimd` builds — the SIMD
+// kernel must agree within simdSumTolerance. This is the differential oracle
+// for the whole Eq. 4 kernel surface.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(3), uint8(2), uint16(120), uint8(128), uint16(0), uint16(120), uint8(2))
+	f.Add(uint64(7), uint8(1), uint8(1), uint8(0), uint16(1), uint8(255), uint16(0), uint16(1), uint8(0))
+	f.Add(uint64(42), uint8(8), uint8(4), uint8(4), uint16(500), uint8(30), uint16(17), uint16(400), uint8(5))
+	f.Add(uint64(99), uint8(3), uint8(2), uint8(1), uint16(257), uint8(0), uint16(256), uint16(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nE8, nT8, nC8 uint8, nU16 uint16, dens uint8, lo16, hi16 uint16, assigns uint8) {
+		nE := 1 + int(nE8)%8
+		nT := 1 + int(nT8)%5
+		nC := int(nC8) % 5
+		nU := 1 + int(nU16)%600
+		density := float64(dens) / 255
+		dense, sparse := buildPair(t, seed, nE, nT, nC, nU, density)
+
+		ref, err := NewScorerWithOptions(dense, ScorerOptions{Kernel: KernelScalar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := map[string]*Scorer{KernelSparse: NewScorer(sparse)}
+		blk, err := NewScorerWithOptions(dense, ScorerOptions{Kernel: KernelBlocked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact[KernelBlocked] = blk
+		var simd *Scorer
+		if CheckKernel(KernelSIMD) == nil {
+			if simd, err = NewScorerWithOptions(dense, ScorerOptions{Kernel: KernelSIMD}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// One schedule per representation, mutated in lockstep: validity is a
+		// pure function of the problem, so both must accept the same moves.
+		sD, sS := NewSchedule(dense), NewSchedule(sparse)
+		for e := 0; e < nE && sD.Len() < int(assigns); e++ {
+			tt := (e + int(seed)) % nT
+			vD, vS := sD.Valid(e, tt), sS.Valid(e, tt)
+			if vD != vS {
+				t.Fatalf("Valid(%d,%d) diverges across representations: %v vs %v", e, tt, vD, vS)
+			}
+			if !vD {
+				continue
+			}
+			if err := sD.Assign(e, tt); err != nil {
+				t.Fatal(err)
+			}
+			if err := sS.Assign(e, tt); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		lo, hi := int(lo16)%(nU+1), int(hi16)%(nU+1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for e := 0; e < nE; e++ {
+			for tt := 0; tt < nT; tt++ {
+				want := ref.Score(sD, e, tt)
+				wantRange := ref.ScoreUsers(sD, e, tt, lo, hi)
+				for name, sc := range exact {
+					s := sD
+					if name == KernelSparse {
+						s = sS
+					}
+					if got := sc.Score(s, e, tt); got != want {
+						t.Fatalf("%s Score(e=%d,t=%d) = %x, scalar %x", name, e, tt, got, want)
+					}
+					if got := sc.ScoreUsers(s, e, tt, lo, hi); got != wantRange {
+						t.Fatalf("%s ScoreUsers(e=%d,t=%d,[%d,%d)) = %x, scalar %x", name, e, tt, lo, hi, got, wantRange)
+					}
+				}
+				if simd != nil {
+					if got := simd.Score(sD, e, tt); math.Abs(got-want) > simdSumTolerance(nU, want) {
+						t.Fatalf("simd Score(e=%d,t=%d) = %x, scalar %x (off by %g > tol %g)",
+							e, tt, got, want, math.Abs(got-want), simdSumTolerance(nU, want))
+					}
+					if got := simd.ScoreUsers(sD, e, tt, lo, hi); math.Abs(got-wantRange) > simdSumTolerance(hi-lo, wantRange) {
+						t.Fatalf("simd ScoreUsers(e=%d,t=%d,[%d,%d)) = %x, scalar %x", e, tt, lo, hi, got, wantRange)
+					}
+				}
+			}
+		}
+		wantU := ref.Utility(sD)
+		for name, sc := range exact {
+			s := sD
+			if name == KernelSparse {
+				s = sS
+			}
+			if got := sc.Utility(s); got != wantU {
+				t.Fatalf("%s Utility = %x, scalar %x", name, got, wantU)
+			}
+		}
+	})
+}

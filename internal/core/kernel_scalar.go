@@ -1,0 +1,90 @@
+package core
+
+// The scalar dense kernel: the reference Eq. 4 implementation every other
+// variant is tested against. Branch-free loops over the instance's dense
+// event-major layout; see denomEps (score.go) for why the denominators carry
+// an epsilon instead of a zero-check branch.
+
+// scalarKernel is stateless: it reads the instance's dense matrices directly.
+type scalarKernel struct{}
+
+// newScalarSelection resolves the "scalar" selection: the dense scalar loops,
+// or — on a sparse instance, where the dense layout does not exist — the
+// sparse kernel, which is the scalar reference for that representation.
+func newScalarSelection(sc *Scorer) (Kernel, error) {
+	if sc.inst.sparse != nil {
+		return newSparseKernel(sc)
+	}
+	return scalarKernel{}, nil
+}
+
+func (scalarKernel) Name() string { return KernelScalar }
+func (scalarKernel) Exact() bool  { return true }
+
+// ScoreRange computes the Eq. 4 gain restricted to users [lo, hi): one pass
+// over four parallel arrays (µ column, activity column, competing sum,
+// assigned sum), specialized per denominator case so intervals without
+// competition or assignments skip the work entirely.
+func (scalarKernel) ScoreRange(sc *Scorer, s *Schedule, e, t, lo, hi int) float64 {
+	inst := sc.inst
+	mu := inst.interestCol(e)[lo:hi]
+	act := sc.scoreActivityCol(t)[lo:hi]
+	comp := sc.compSum[t]
+	assigned := s.assignedInterestSum(t)
+
+	gain := 0.0
+	switch {
+	case comp == nil && assigned == nil:
+		for u, mf := range mu {
+			m := float64(mf)
+			gain += float64(act[u]) * m / (m + denomEps)
+		}
+	case assigned == nil:
+		comp := comp[lo:hi]
+		for u, mf := range mu {
+			m := float64(mf)
+			gain += float64(act[u]) * m / (comp[u] + m + denomEps)
+		}
+	case comp == nil:
+		assigned := assigned[lo:hi]
+		for u, mf := range mu {
+			a := assigned[u]
+			m := float64(mf)
+			gain += float64(act[u]) * ((a+m)/(a+m+denomEps) - a/(a+denomEps))
+		}
+	default:
+		comp := comp[lo:hi]
+		assigned := assigned[lo:hi]
+		for u, mf := range mu {
+			a := assigned[u]
+			m := float64(mf)
+			oldD := comp[u] + a
+			gain += float64(act[u]) * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
+		}
+	}
+	return gain
+}
+
+func (scalarKernel) AddColInto(inst *Instance, h int, dst []float64) {
+	denseAddColInto(inst, h, dst)
+}
+
+func (scalarKernel) SubColInto(inst *Instance, h int, dst []float64) {
+	denseSubColInto(inst, h, dst)
+}
+
+// denseAddColInto accumulates a dense column: dst[u] += µ(u, h). Adding
+// exact +0.0 for every zero cell is what makes the sparse accumulator —
+// which skips them — bit-identical.
+func denseAddColInto(inst *Instance, h int, dst []float64) {
+	for u, v := range inst.interestCol(h) {
+		dst[u] += float64(v)
+	}
+}
+
+// denseSubColInto subtracts a dense column (UnassignLast's undo).
+func denseSubColInto(inst *Instance, h int, dst []float64) {
+	for u, v := range inst.interestCol(h) {
+		dst[u] -= float64(v)
+	}
+}

@@ -1,0 +1,116 @@
+//go:build sessimd && amd64
+
+package core
+
+import "fmt"
+
+// The SIMD kernel: the four Eq. 4 denominator cases run through two-lane
+// SSE2 vector loops (kernel_simd_amd64.s). SSE2 is the amd64 baseline, so
+// the tagged build needs no runtime feature detection; builds without the
+// `sessimd` tag (or off amd64) register the variant as unavailable instead
+// (kernel_simd_off.go), so the scalar fallback can never rot unnoticed.
+//
+// Accuracy contract (the documented bound the tolerance tests gate on):
+// every per-user term is bit-identical to the scalar kernel's — SSE2 packed
+// multiply/divide/add are IEEE-754 correctly rounded, and each lane applies
+// the exact scalar operation sequence to the exact scalar operands. Only the
+// REDUCTION order differs: even-indexed users accumulate in lane 0, odd ones
+// in lane 1, and the lanes combine in one final add. Reassociating an n-term
+// float64 sum perturbs it by at most (n−1)·ε·Σ|termᵢ| to first order
+// (ε = 2⁻⁵³ ≈ 1.1e-16) — i.e. n−1 ulps of the term-magnitude sum per shard
+// pass. That is why Exact() is false: the variant is tolerance-tested
+// against the scalar oracle (TestSIMDKernelTolerance, FuzzKernelEquivalence)
+// and excluded from every bit-identity and benchdiff gate.
+type simdKernel struct{}
+
+func init() { RegisterKernel(KernelSIMD, newSIMDSelection) }
+
+// newSIMDSelection resolves the "simd" selection. It never silently
+// substitutes: on a sparse instance (no dense columns to vectorize) it
+// errors instead of falling back.
+func newSIMDSelection(sc *Scorer) (Kernel, error) {
+	if sc.inst.sparse != nil {
+		return nil, fmt.Errorf("core: kernel %q requires the dense representation (got sparse); rebuild with -rep dense or pick another kernel", KernelSIMD)
+	}
+	return simdKernel{}, nil
+}
+
+func (simdKernel) Name() string { return KernelSIMD }
+func (simdKernel) Exact() bool  { return false }
+
+// ScoreRange dispatches the even-length prefix to the SSE2 loops and closes
+// an odd tail with one scalar term (bit-identical to the scalar kernel's
+// last term, so the tail adds nothing to the reassociation bound).
+func (simdKernel) ScoreRange(sc *Scorer, s *Schedule, e, t, lo, hi int) float64 {
+	inst := sc.inst
+	mu := inst.interestCol(e)[lo:hi]
+	act := sc.scoreActivityCol(t)[lo:hi]
+	comp := sc.compSum[t]
+	assigned := s.assignedInterestSum(t)
+	if comp != nil {
+		comp = comp[lo:hi]
+	}
+	if assigned != nil {
+		assigned = assigned[lo:hi]
+	}
+
+	n := len(mu)
+	gain := 0.0
+	switch {
+	case comp == nil && assigned == nil:
+		gain = simdGainFree(mu, act, denomEps)
+		if n%2 == 1 {
+			m := float64(mu[n-1])
+			gain += float64(act[n-1]) * m / (m + denomEps)
+		}
+	case assigned == nil:
+		gain = simdGainComp(mu, act, comp, denomEps)
+		if n%2 == 1 {
+			m := float64(mu[n-1])
+			gain += float64(act[n-1]) * m / (comp[n-1] + m + denomEps)
+		}
+	case comp == nil:
+		gain = simdGainAssigned(mu, act, assigned, denomEps)
+		if n%2 == 1 {
+			a := assigned[n-1]
+			m := float64(mu[n-1])
+			gain += float64(act[n-1]) * ((a+m)/(a+m+denomEps) - a/(a+denomEps))
+		}
+	default:
+		gain = simdGainFull(mu, act, comp, assigned, denomEps)
+		if n%2 == 1 {
+			a := assigned[n-1]
+			m := float64(mu[n-1])
+			oldD := comp[n-1] + a
+			gain += float64(act[n-1]) * ((a+m)/(oldD+m+denomEps) - a/(oldD+denomEps))
+		}
+	}
+	return gain
+}
+
+// Accumulation stays scalar and shared: accumulated interest sums feed every
+// kernel's denominators, so they must be bit-identical across variants.
+func (simdKernel) AddColInto(inst *Instance, h int, dst []float64) {
+	denseAddColInto(inst, h, dst)
+}
+
+func (simdKernel) SubColInto(inst *Instance, h int, dst []float64) {
+	denseSubColInto(inst, h, dst)
+}
+
+// The SSE2 loops (kernel_simd_amd64.s). Each processes the even-length
+// prefix len(mu)&^1 of equal-length operand slices and returns the two-lane
+// sum; eps is passed in (not baked into the assembly) so the Go constant
+// denomEps stays the single source of truth.
+
+//go:noescape
+func simdGainFree(mu, act []float32, eps float64) float64
+
+//go:noescape
+func simdGainComp(mu, act []float32, comp []float64, eps float64) float64
+
+//go:noescape
+func simdGainAssigned(mu, act []float32, assigned []float64, eps float64) float64
+
+//go:noescape
+func simdGainFull(mu, act []float32, comp, assigned []float64, eps float64) float64

@@ -1,0 +1,168 @@
+//go:build sessimd
+
+// SSE2 two-lane loops for the four Eq. 4 denominator cases. SSE2 only — the
+// amd64 baseline — so no CPUID dispatch. Layout per iteration: load two
+// float32 µ and activity values (one 8-byte MOVSD each), widen with
+// CVTPS2PD, load float64 denominator operands with MOVUPD, apply the scalar
+// operation sequence per lane, accumulate into X6. Even-indexed users live
+// in lane 0, odd in lane 1; the Go wrapper documents the resulting
+// reassociation bound. Each function processes the even prefix len&^1; the
+// wrapper closes odd tails in Go.
+
+#include "textflag.h"
+
+// func simdGainFree(mu, act []float32, eps float64) float64
+//   gain += act*m/(m+eps)
+TEXT ·simdGainFree(SB), NOSPLIT, $0-64
+	MOVQ  mu_base+0(FP), SI
+	MOVQ  mu_len+8(FP), CX
+	MOVQ  act_base+24(FP), DI
+	MOVSD eps+48(FP), X7
+	UNPCKLPD X7, X7           // X7 = [eps, eps]
+	XORPS X6, X6              // accumulator lanes
+	ANDQ  $-2, CX             // even prefix
+	XORQ  R8, R8
+
+freeloop:
+	CMPQ  R8, CX
+	JGE   freedone
+	MOVSD (SI)(R8*4), X0      // two float32 µ
+	CVTPS2PD X0, X0           // m pair
+	MOVSD (DI)(R8*4), X1      // two float32 act
+	CVTPS2PD X1, X1           // act pair
+	MULPD X0, X1              // act*m
+	ADDPD X7, X0              // m+eps
+	DIVPD X0, X1              // act*m/(m+eps)
+	ADDPD X1, X6
+	ADDQ  $2, R8
+	JMP   freeloop
+
+freedone:
+	MOVAPD X6, X0
+	UNPCKHPD X0, X0           // X0 = [hi, hi]
+	ADDSD X6, X0              // lane0 + lane1
+	MOVSD X0, ret+56(FP)
+	RET
+
+// func simdGainComp(mu, act []float32, comp []float64, eps float64) float64
+//   gain += act*m/(comp+m+eps)
+TEXT ·simdGainComp(SB), NOSPLIT, $0-88
+	MOVQ  mu_base+0(FP), SI
+	MOVQ  mu_len+8(FP), CX
+	MOVQ  act_base+24(FP), DI
+	MOVQ  comp_base+48(FP), DX
+	MOVSD eps+72(FP), X7
+	UNPCKLPD X7, X7
+	XORPS X6, X6
+	ANDQ  $-2, CX
+	XORQ  R8, R8
+
+comploop:
+	CMPQ  R8, CX
+	JGE   compdone
+	MOVSD (SI)(R8*4), X0
+	CVTPS2PD X0, X0           // m
+	MOVSD (DI)(R8*4), X1
+	CVTPS2PD X1, X1           // act
+	MOVUPD (DX)(R8*8), X2     // comp
+	MULPD X0, X1              // act*m
+	ADDPD X0, X2              // comp+m
+	ADDPD X7, X2              // comp+m+eps
+	DIVPD X2, X1
+	ADDPD X1, X6
+	ADDQ  $2, R8
+	JMP   comploop
+
+compdone:
+	MOVAPD X6, X0
+	UNPCKHPD X0, X0
+	ADDSD X6, X0
+	MOVSD X0, ret+80(FP)
+	RET
+
+// func simdGainAssigned(mu, act []float32, assigned []float64, eps float64) float64
+//   gain += act*((a+m)/(a+m+eps) - a/(a+eps))
+TEXT ·simdGainAssigned(SB), NOSPLIT, $0-88
+	MOVQ  mu_base+0(FP), SI
+	MOVQ  mu_len+8(FP), CX
+	MOVQ  act_base+24(FP), DI
+	MOVQ  assigned_base+48(FP), BX
+	MOVSD eps+72(FP), X7
+	UNPCKLPD X7, X7
+	XORPS X6, X6
+	ANDQ  $-2, CX
+	XORQ  R8, R8
+
+asgnloop:
+	CMPQ  R8, CX
+	JGE   asgndone
+	MOVSD (SI)(R8*4), X0
+	CVTPS2PD X0, X0           // m
+	MOVSD (DI)(R8*4), X1
+	CVTPS2PD X1, X1           // act
+	MOVUPD (BX)(R8*8), X2     // a
+	MOVAPD X2, X3
+	ADDPD X0, X3              // a+m
+	MOVAPD X3, X4
+	ADDPD X7, X4              // a+m+eps
+	DIVPD X4, X3              // (a+m)/(a+m+eps)
+	MOVAPD X2, X4
+	ADDPD X7, X4              // a+eps
+	DIVPD X4, X2              // a/(a+eps)
+	SUBPD X2, X3              // bracket
+	MULPD X3, X1              // act*bracket
+	ADDPD X1, X6
+	ADDQ  $2, R8
+	JMP   asgnloop
+
+asgndone:
+	MOVAPD X6, X0
+	UNPCKHPD X0, X0
+	ADDSD X6, X0
+	MOVSD X0, ret+80(FP)
+	RET
+
+// func simdGainFull(mu, act []float32, comp, assigned []float64, eps float64) float64
+//   oldD = comp+a; gain += act*((a+m)/(oldD+m+eps) - a/(oldD+eps))
+TEXT ·simdGainFull(SB), NOSPLIT, $0-112
+	MOVQ  mu_base+0(FP), SI
+	MOVQ  mu_len+8(FP), CX
+	MOVQ  act_base+24(FP), DI
+	MOVQ  comp_base+48(FP), DX
+	MOVQ  assigned_base+72(FP), BX
+	MOVSD eps+96(FP), X7
+	UNPCKLPD X7, X7
+	XORPS X6, X6
+	ANDQ  $-2, CX
+	XORQ  R8, R8
+
+fullloop:
+	CMPQ  R8, CX
+	JGE   fulldone
+	MOVSD (SI)(R8*4), X0
+	CVTPS2PD X0, X0           // m
+	MOVSD (DI)(R8*4), X1
+	CVTPS2PD X1, X1           // act
+	MOVUPD (DX)(R8*8), X2     // comp
+	MOVUPD (BX)(R8*8), X3     // a
+	ADDPD X3, X2              // oldD = comp+a
+	MOVAPD X3, X4
+	ADDPD X0, X4              // a+m
+	MOVAPD X2, X5
+	ADDPD X0, X5              // oldD+m
+	ADDPD X7, X5              // oldD+m+eps
+	DIVPD X5, X4              // (a+m)/(oldD+m+eps)
+	ADDPD X7, X2              // oldD+eps
+	DIVPD X2, X3              // a/(oldD+eps)
+	SUBPD X3, X4              // bracket
+	MULPD X4, X1              // act*bracket
+	ADDPD X1, X6
+	ADDQ  $2, R8
+	JMP   fullloop
+
+fulldone:
+	MOVAPD X6, X0
+	UNPCKHPD X0, X0
+	ADDSD X6, X0
+	MOVSD X0, ret+104(FP)
+	RET

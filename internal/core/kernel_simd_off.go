@@ -1,0 +1,13 @@
+//go:build !sessimd || !amd64
+
+package core
+
+import "errors"
+
+// In builds without the SSE2 kernel (no `sessimd` tag, or a non-amd64
+// target) the "simd" selection stays visible but fails with an actionable
+// error — never a silent fallback to a different variant.
+func init() {
+	registerKernelUnavailable(KernelSIMD,
+		errors.New(`core: kernel "simd" is not compiled into this binary (build with -tags sessimd on amd64)`))
+}

@@ -1,0 +1,111 @@
+//go:build sessimd && amd64
+
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSIMDKernelTolerance gates the SIMD kernel on its documented accuracy
+// contract (kernel_simd_amd64.go): per-term values are bit-identical to the
+// scalar reference, only the two-lane reduction order differs, so every
+// result must sit within simdSumTolerance of the scalar oracle. All four
+// denominator cases are driven — intervals without competing events hit the
+// comp == nil cases, schedule stages flip assigned between nil and live —
+// with both odd and even user counts (the odd scalar tail) and the weighted
+// extension folded in.
+func TestSIMDKernelTolerance(t *testing.T) {
+	for _, nU := range []int{1, 2, 257, 3000} {
+		// Competing events pinned to interval 0 only: intervals ≥ 1 score
+		// through the comp == nil cases.
+		dense, _ := buildPair(t, 61, 5, 3, 0, nU, 0.7)
+		col := make([]float32, nU)
+		for u := range col {
+			if u%2 == 0 {
+				col[u] = 0.6
+			}
+		}
+		if err := dense.AddCompeting(Competing{Interval: 0}, col); err != nil {
+			t.Fatal(err)
+		}
+		w := make([]float64, nU)
+		for u := range w {
+			w[u] = 0.5 + float64(u%3)*0.5
+		}
+		for _, withWeights := range []bool{false, true} {
+			opts := ScorerOptions{}
+			if withWeights {
+				opts.UserWeights = w
+			}
+			optsScalar, optsSIMD := opts, opts
+			optsScalar.Kernel = KernelScalar
+			optsSIMD.Kernel = KernelSIMD
+			ref, err := NewScorerWithOptions(dense, optsScalar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simd, err := NewScorerWithOptions(dense, optsSIMD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simd.KernelName() != KernelSIMD || simd.Kernel().Exact() {
+				t.Fatalf("simd scorer reports %q exact=%v", simd.KernelName(), simd.Kernel().Exact())
+			}
+			sR, sS := NewSchedule(dense), NewSchedule(dense)
+			check := func(stage string) {
+				t.Helper()
+				for e := 0; e < dense.NumEvents(); e++ {
+					for tt := 0; tt < dense.NumIntervals(); tt++ {
+						want, got := ref.Score(sR, e, tt), simd.Score(sS, e, tt)
+						if tol := simdSumTolerance(nU, want); math.Abs(got-want) > tol {
+							t.Fatalf("nU=%d weights=%v %s: Score(e=%d,t=%d) simd %x vs scalar %x (off %g > tol %g)",
+								nU, withWeights, stage, e, tt, got, want, math.Abs(got-want), tol)
+						}
+						// Odd-length sub-ranges exercise the scalar tail.
+						for _, b := range [][2]int{{0, nU}, {0, nU - nU/3}, {nU / 3, nU}} {
+							lo, hi := b[0], b[1]
+							if lo >= hi {
+								continue
+							}
+							want, got := ref.ScoreUsers(sR, e, tt, lo, hi), simd.ScoreUsers(sS, e, tt, lo, hi)
+							if tol := simdSumTolerance(hi-lo, want); math.Abs(got-want) > tol {
+								t.Fatalf("nU=%d weights=%v %s: ScoreUsers(e=%d,t=%d,[%d,%d)) simd %x vs scalar %x",
+									nU, withWeights, stage, e, tt, lo, hi, got, want)
+							}
+						}
+					}
+				}
+			}
+			check("empty")
+			// Stack two events into interval 1 (comp == nil there) and one
+			// into interval 0 so both assigned-denominator cases engage.
+			for e := 0; e < dense.NumEvents() && sR.Len() < 3; e++ {
+				tt := 1
+				if sR.Len() == 2 {
+					tt = 0
+				}
+				if sR.Valid(e, tt) {
+					if err := sR.Assign(e, tt); err != nil {
+						t.Fatal(err)
+					}
+					if err := sS.Assign(e, tt); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			check("assigned")
+		}
+	}
+}
+
+// TestSIMDKernelRejectsSparse: the simd selection never silently substitutes
+// on the representation it cannot vectorize.
+func TestSIMDKernelRejectsSparse(t *testing.T) {
+	_, sparse := buildPair(t, 62, 4, 3, 2, 50, 0.3)
+	_, err := NewScorerWithOptions(sparse, ScorerOptions{Kernel: KernelSIMD})
+	if err == nil || !strings.Contains(err.Error(), "dense representation") {
+		t.Fatalf("simd on sparse = %v, want representation error", err)
+	}
+}

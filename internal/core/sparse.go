@@ -22,11 +22,12 @@ import (
 // A sparse instance stores, per interest column (candidate events first,
 // then competing events), the nonzero (user, µ) pairs in ascending user
 // order. Everything else — the activity matrix, schedules, scorers — is
-// unchanged. Crucially, the sparse scoring kernels are bit-identical to the
+// unchanged. Crucially, the sparse scoring kernel is bit-identical to the
 // dense ones: in every case of the Eq. 4 kernel a µ = 0 term contributes
-// exactly +0.0 to the accumulator (see scoreUserRangeSparse), so skipping
-// zeros while keeping the ascending user order reproduces the dense sum bit
-// for bit, at every worker count of the internal/score engine.
+// exactly +0.0 to the accumulator (see sparseKernel.ScoreRange in
+// kernel_sparse.go), so skipping zeros while keeping the ascending user order
+// reproduces the dense sum bit for bit, at every worker count of the
+// internal/score engine.
 
 // SparseCol holds one interest column's nonzero entries: Users[i] is the
 // user index of the i-th nonzero and Mu[i] its µ value. Users is strictly
@@ -126,6 +127,18 @@ func (in *Instance) InterestNonzeros() int64 {
 		}
 	}
 	return n
+}
+
+// ColNonzeros returns the stored cell count of interest column h (candidate
+// events first, then competing): the nonzero-list length on a sparse
+// instance, |U| on a dense one (every cell is stored). This is the per-pass
+// work of a kernel streaming that column — what cmd/kernelbench normalizes
+// its timings by.
+func (in *Instance) ColNonzeros(h int) int {
+	if in.sparse != nil {
+		return len(in.sparse[h].Users)
+	}
+	return in.numUsers
 }
 
 // NewInstanceSparse allocates an instance whose interest matrix is the given
@@ -356,33 +369,26 @@ func (b *Builder) Build() (*Instance, error) {
 
 // addInterestColInto accumulates column h into dst: dst[u] += µ(u, h). It is
 // the shared primitive behind the scorer's competing-sum precompute and the
-// schedule's per-interval running interest sums. The dense loop adds exact
-// +0.0 for every zero cell, so the sparse path skipping them is bit-identical.
+// schedule's per-interval running interest sums — the accumulation half of
+// the kernel surface (Kernel.AddColInto wraps the same helpers). It lives on
+// the instance because Schedule.Assign has no Scorer in hand; the
+// representation picks the implementation, and every kernel variant funnels
+// into the same two helpers so accumulated sums are bit-identical everywhere.
 func (in *Instance) addInterestColInto(h int, dst []float64) {
 	if in.sparse != nil {
-		col := in.sparse[h]
-		for i, u := range col.Users {
-			dst[u] += float64(col.Mu[i])
-		}
+		sparseAddColInto(in, h, dst)
 		return
 	}
-	for u, v := range in.interestCol(h) {
-		dst[u] += float64(v)
-	}
+	denseAddColInto(in, h, dst)
 }
 
 // subInterestColInto subtracts column h from dst (UnassignLast's undo).
 func (in *Instance) subInterestColInto(h int, dst []float64) {
 	if in.sparse != nil {
-		col := in.sparse[h]
-		for i, u := range col.Users {
-			dst[u] -= float64(col.Mu[i])
-		}
+		sparseSubColInto(in, h, dst)
 		return
 	}
-	for u, v := range in.interestCol(h) {
-		dst[u] -= float64(v)
-	}
+	denseSubColInto(in, h, dst)
 }
 
 // ScaleCompetingInterest multiplies every competing-event interest by scale

@@ -267,7 +267,7 @@ func Summary(o Options, trials int) (SummaryStats, []Row, error) {
 			if err != nil {
 				return st, nil, err
 			}
-			en, err := score.New(inst, core.ScorerOptions{Workers: o.Workers})
+			en, err := score.New(inst, core.ScorerOptions{Workers: o.Workers, Kernel: o.Kernel})
 			if err != nil {
 				return st, nil, err
 			}

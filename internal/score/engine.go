@@ -53,7 +53,9 @@ const (
 	// function of |U| alone, which is what makes parallel, sequential and
 	// single-worker scores bit-identical. 8192 float32 reads per shard is
 	// comfortably past the point where goroutine handoff (~1µs) is noise.
-	chunkUsers = 8192
+	// The width is owned by core (kernels precompute per-shard state
+	// against this grid — the sparse kernel's nonzero offsets).
+	chunkUsers = core.ShardUsers
 
 	// singleParallelUsers is the minimum |U| before ONE evaluation fans its
 	// user pass out. Below it a sequential pass completes in the time the
@@ -106,6 +108,9 @@ type Engine struct {
 	workers int
 	tasks   chan func()
 	sink    *Sink
+	// kernelEvals is the sink's per-variant eval counter child bound to
+	// this engine's kernel name (nil when the sink is absent or unlabeled).
+	kernelEvals *metrics.Counter
 
 	closeOnce sync.Once
 
@@ -152,12 +157,23 @@ type Sink struct {
 	// observes each batch's wall time.
 	BatchCandidates *metrics.Histogram
 	BatchSeconds    *metrics.Histogram
+	// KernelEvals partitions computed Eq. 4 evaluations by the kernel
+	// variant that ran them (label: the scorer's concrete kernel name).
+	// Each engine binds its own child at SetSink time, so the per-variant
+	// split costs one pointer indirection, not a map lookup per eval.
+	KernelEvals *metrics.CounterVec
 }
 
 // SetSink attaches the shared telemetry sink. Call before the engine is
 // shared across goroutines (sesd sets it right after construction); a nil
 // sink keeps reporting off.
-func (en *Engine) SetSink(s *Sink) { en.sink = s }
+func (en *Engine) SetSink(s *Sink) {
+	en.sink = s
+	en.kernelEvals = nil
+	if s != nil {
+		en.kernelEvals = s.KernelEvals.With(en.sc.KernelName())
+	}
+}
 
 // New builds an engine for the instance, precomputing the dense per-interval
 // competition rows. opts.Workers sizes the worker set: ≤ 1 means sequential,
@@ -217,6 +233,15 @@ func NewFromPrevious(prev *Engine, inst *core.Instance, opts core.ScorerOptions,
 		return nil, err
 	}
 	en := newEngine(sc, inst, opts.Workers)
+	// The grid carries over only between engines running the SAME kernel
+	// variant: cached entries are that variant's bits, and an inexact
+	// variant's values (simd) must never be served as another's — nor may
+	// exact variants trade entries with it, even though exact variants
+	// agree bit for bit with each other, because "which kernel computed
+	// this number" is part of the cache's provenance contract.
+	if prev.sc.KernelName() != sc.KernelName() {
+		return en, nil
+	}
 	if n := inst.NumEvents() * inst.NumIntervals(); n > 0 && n <= gridMaxCells {
 		prev.gridMu.Lock()
 		if len(prev.grid) == n {
@@ -287,6 +312,11 @@ func (en *Engine) Scorer() *core.Scorer { return en.sc }
 // Workers returns the effective worker count (1 = sequential).
 func (en *Engine) Workers() int { return en.workers }
 
+// KernelName returns the concrete name of the Eq. 4 kernel variant the
+// engine's scorer dispatches to ("scalar", "sparse", "blocked", "simd") —
+// what ScorerOptions.Kernel resolved to on this instance.
+func (en *Engine) KernelName() string { return en.sc.KernelName() }
+
 // Utility computes Ω(S) (Eq. 3). One pass per non-empty interval; never
 // parallelized, so it is the same bits in every mode.
 func (en *Engine) Utility(s *core.Schedule) float64 { return en.sc.Utility(s) }
@@ -322,6 +352,7 @@ func (en *Engine) Score(s *core.Schedule, e, t int) float64 {
 	en.evals.Add(1)
 	if sk := en.sink; sk != nil {
 		sk.Evals.Inc()
+		en.kernelEvals.Inc()
 	}
 	return en.scoreShards(s, e, t)
 }
@@ -333,6 +364,7 @@ func (en *Engine) scoreSharded(s *core.Schedule, e, t int) float64 {
 	if sk := en.sink; sk != nil {
 		sk.Fanouts.Inc()
 		sk.Evals.Inc()
+		en.kernelEvals.Inc()
 	}
 	nU := en.inst.NumUsers()
 	nShards := (nU + chunkUsers - 1) / chunkUsers
@@ -526,6 +558,7 @@ func (en *Engine) scoreBatchCompute(ctx context.Context, s *core.Schedule, cands
 	en.evals.Add(int64(len(cands)))
 	if sk := en.sink; sk != nil {
 		sk.Evals.Add(int64(len(cands)))
+		en.kernelEvals.Add(int64(len(cands)))
 	}
 	return nil
 }
@@ -536,10 +569,13 @@ func (en *Engine) scoreBatchCompute(ctx context.Context, s *core.Schedule, cands
 // set, so Fanouts ≪ Batches means the workload stayed under the parallel
 // thresholds.
 type Stats struct {
-	Workers int   `json:"workers"`
-	Evals   int64 `json:"evals"`
-	Batches int64 `json:"batches"`
-	Fanouts int64 `json:"fanouts"`
+	Workers int `json:"workers"`
+	// Kernel is the concrete Eq. 4 kernel variant this engine dispatches
+	// to (what ScorerOptions.Kernel resolved to on the instance).
+	Kernel  string `json:"kernel,omitempty"`
+	Evals   int64  `json:"evals"`
+	Batches int64  `json:"batches"`
+	Fanouts int64  `json:"fanouts"`
 	// GridHits counts evaluations served from the empty-schedule grid
 	// cache: work a warm engine (or a later run on a shared one) skipped.
 	// Evals counts only computed passes, so a scheduler's reported
@@ -551,6 +587,7 @@ type Stats struct {
 func (en *Engine) Stat() Stats {
 	return Stats{
 		Workers:  en.workers,
+		Kernel:   en.sc.KernelName(),
 		Evals:    en.evals.Load(),
 		Batches:  en.batches.Load(),
 		Fanouts:  en.fanouts.Load(),
